@@ -1,0 +1,313 @@
+//! Approximate SCAN index construction (§5 + §6.3).
+//!
+//! Pipeline: sketch the vertices the degree heuristic selects, estimate
+//! similarities over edges between two sketched endpoints, compute exact
+//! similarities for everything else (low-degree edges are cheaper to merge
+//! than to sketch), then hand the per-slot scores to the exact machinery
+//! ([`parscan_core::ScanIndex::from_similarities`]) for neighbor/core-order
+//! construction — which can always use integer sorting since estimates are
+//! scaled integers (Theorem 5.1).
+
+use crate::minhash::{KPartitionMinHash, StandardMinHash};
+use crate::simhash::SimHashSketches;
+use parscan_core::similarity::SimilarityMeasure;
+use parscan_core::similarity_exact::{open_intersection_value, EdgeSimilarities};
+use parscan_core::{ScanIndex, SortStrategy};
+use parscan_graph::{CsrGraph, VertexId};
+use parscan_parallel::primitives::{par_for, par_map};
+use parscan_parallel::utils::SyncMutPtr;
+
+/// Which LSH scheme approximates which measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ApproxMethod {
+    /// SimHash → cosine (weighted or unweighted graphs).
+    #[default]
+    SimHashCosine,
+    /// k-partition MinHash → Jaccard (the paper's implementation choice).
+    KPartitionMinHashJaccard,
+    /// Standard MinHash → Jaccard (carries the Theorem 5.3 guarantee).
+    StandardMinHashJaccard,
+}
+
+impl ApproxMethod {
+    pub fn measure(self) -> SimilarityMeasure {
+        match self {
+            ApproxMethod::SimHashCosine => SimilarityMeasure::Cosine,
+            _ => SimilarityMeasure::Jaccard,
+        }
+    }
+
+    /// §6.3 degree threshold: sketch only vertices whose degree exceeds
+    /// this (k for cosine, 3k/2 for Jaccard).
+    pub fn degree_threshold(self, k: usize) -> usize {
+        match self {
+            ApproxMethod::SimHashCosine => k,
+            _ => 3 * k / 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ApproxMethod::SimHashCosine => "simhash-cosine",
+            ApproxMethod::KPartitionMinHashJaccard => "kpartition-minhash-jaccard",
+            ApproxMethod::StandardMinHashJaccard => "standard-minhash-jaccard",
+        }
+    }
+}
+
+/// Approximate construction configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ApproxConfig {
+    pub method: ApproxMethod,
+    /// Number of LSH samples `k`.
+    pub samples: usize,
+    pub seed: u64,
+    /// Apply the §6.3 low-degree heuristic (disable to sketch everything —
+    /// the ablation the Criterion benches measure).
+    pub degree_heuristic: bool,
+    pub sort: SortStrategy,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            method: ApproxMethod::default(),
+            samples: 256,
+            seed: 0,
+            degree_heuristic: true,
+            sort: SortStrategy::Integer,
+        }
+    }
+}
+
+enum Sketcher {
+    SimHash(SimHashSketches),
+    KPartition(KPartitionMinHash),
+    Standard(StandardMinHash),
+}
+
+impl Sketcher {
+    fn estimate(&self, u: VertexId, v: VertexId) -> f32 {
+        match self {
+            Sketcher::SimHash(s) => s.estimate(u, v),
+            Sketcher::KPartition(s) => s.estimate(u, v),
+            Sketcher::Standard(s) => s.estimate(u, v),
+        }
+    }
+}
+
+/// Compute approximate per-slot similarities (without building orders) —
+/// exposed separately so benchmarks can time phases.
+pub fn approx_similarities(g: &CsrGraph, config: &ApproxConfig) -> EdgeSimilarities {
+    let measure = config.method.measure();
+    assert!(
+        !g.is_weighted() || measure.supports_weights(),
+        "{} cannot approximate weighted graphs",
+        config.method.name()
+    );
+    let k = config.samples;
+    let threshold = if config.degree_heuristic {
+        config.method.degree_threshold(k)
+    } else {
+        0
+    };
+
+    // Sketch a vertex only if it is high-degree and has a high-degree
+    // neighbor (otherwise no edge will ever consult its sketch).
+    let high = |v: VertexId| g.degree(v) > threshold;
+    let select = |v: VertexId| high(v) && g.neighbors(v).iter().any(|&x| high(x));
+    let sketcher = match config.method {
+        ApproxMethod::SimHashCosine => {
+            Sketcher::SimHash(SimHashSketches::build(g, k, config.seed, select))
+        }
+        ApproxMethod::KPartitionMinHashJaccard => {
+            Sketcher::KPartition(KPartitionMinHash::build(g, k, config.seed, select))
+        }
+        ApproxMethod::StandardMinHashJaccard => {
+            Sketcher::Standard(StandardMinHash::build(g, k, config.seed, select))
+        }
+    };
+
+    let norms: Option<Vec<f64>> = g
+        .is_weighted()
+        .then(|| par_map(g.num_vertices(), 1024, |v| g.closed_norm_sq(v as VertexId)));
+
+    let n = g.num_vertices();
+    let mut sims = vec![0f32; g.num_slots()];
+    let ptr = SyncMutPtr::new(&mut sims);
+    // Pass 1: canonical slots — estimate when both endpoints sketched,
+    // exact merge otherwise.
+    par_for(n, 64, |u| {
+        let u = u as VertexId;
+        for s in g.slot_range(u) {
+            let v = g.slot_neighbor(s);
+            if v <= u {
+                continue;
+            }
+            let score = if high(u) && high(v) {
+                sketcher.estimate(u, v)
+            } else {
+                let open = open_intersection_value(g, s);
+                match &norms {
+                    Some(norms) => measure.score_weighted(
+                        open,
+                        g.slot_weight(s) as f64,
+                        norms[u as usize],
+                        norms[v as usize],
+                    ) as f32,
+                    None => {
+                        measure.score_unweighted(open as u64, g.degree(u), g.degree(v)) as f32
+                    }
+                }
+            };
+            // SAFETY: one writer per canonical slot.
+            unsafe { ptr.write(s, score) };
+        }
+    });
+    // Pass 2: mirror twins.
+    par_for(n, 64, |u| {
+        let u = u as VertexId;
+        for s in g.slot_range(u) {
+            let v = g.slot_neighbor(s);
+            if v >= u {
+                continue;
+            }
+            let twin = g.slot_of(v, u).expect("symmetric");
+            // SAFETY: disjoint slots; pass 1 complete (pool barrier).
+            unsafe {
+                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
+                ptr.write(s, val);
+            }
+        }
+    });
+    EdgeSimilarities::from_per_slot(sims)
+}
+
+/// Build a full approximate SCAN index.
+pub fn build_approx_index(graph: CsrGraph, config: ApproxConfig) -> ScanIndex {
+    let sims = approx_similarities(&graph, &config);
+    ScanIndex::from_similarities(graph, sims, config.method.measure(), config.sort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parscan_core::similarity_exact::compute_full_merge;
+    use parscan_core::{IndexConfig, QueryParams};
+    use parscan_graph::generators;
+
+    #[test]
+    fn low_degree_edges_are_exact() {
+        // With the heuristic and a large k, every vertex is low-degree, so
+        // the "approximate" index is exactly the exact one.
+        let g = generators::erdos_renyi(200, 1200, 5);
+        let exact = compute_full_merge(&g, SimilarityMeasure::Cosine);
+        let approx = approx_similarities(
+            &g,
+            &ApproxConfig {
+                samples: 4096, // threshold 4096 > every degree
+                ..Default::default()
+            },
+        );
+        assert_eq!(exact.as_slice(), approx.as_slice());
+    }
+
+    #[test]
+    fn approximate_clustering_close_to_exact() {
+        // Small dense communities: intra-edge cosine ≈ 0.7, inter ≈ 0.15,
+        // so a mid ε separates them with margin ≫ the k=512 LSH error.
+        let (g, _) = generators::planted_partition(400, 20, 12.0, 0.5, 9);
+        let exact_idx = ScanIndex::build(g.clone(), IndexConfig::default());
+        let approx_idx = build_approx_index(
+            g,
+            ApproxConfig {
+                samples: 512,
+                degree_heuristic: false, // force sketches everywhere
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let params = QueryParams::new(3, 0.45);
+        let a = exact_idx.cluster_with(params, parscan_core::BorderAssignment::MostSimilar);
+        let b = approx_idx.cluster_with(params, parscan_core::BorderAssignment::MostSimilar);
+        let ari = parscan_metrics::adjusted_rand_index(
+            &a.labels_with_singletons(),
+            &b.labels_with_singletons(),
+        );
+        assert!(ari > 0.8, "approx clustering diverged: ARI {ari}");
+    }
+
+    #[test]
+    fn minhash_methods_build_valid_indices() {
+        // Community structure keeps intra-edge Jaccard (≈ 0.5) well above
+        // the ε = 0.3 used below; a flat random graph would cluster nothing.
+        let (g, _) = generators::planted_partition(200, 10, 12.0, 0.5, 4);
+        for method in [
+            ApproxMethod::KPartitionMinHashJaccard,
+            ApproxMethod::StandardMinHashJaccard,
+        ] {
+            let idx = build_approx_index(
+                g.clone(),
+                ApproxConfig {
+                    method,
+                    samples: 128,
+                    degree_heuristic: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(idx.neighbor_order().validate(idx.graph()), Ok(()));
+            let c = idx.cluster(QueryParams::new(2, 0.3));
+            assert!(c.num_clusters() > 0);
+        }
+    }
+
+    #[test]
+    fn weighted_graphs_use_simhash() {
+        let (g, _) = generators::weighted_planted_partition(200, 3, 10.0, 1.0, 6);
+        let idx = build_approx_index(
+            g,
+            ApproxConfig {
+                samples: 256,
+                ..Default::default()
+            },
+        );
+        let c = idx.cluster(QueryParams::new(3, 0.4));
+        assert!(c.num_clusters() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot approximate weighted")]
+    fn minhash_rejects_weighted() {
+        let (g, _) = generators::weighted_planted_partition(50, 2, 4.0, 1.0, 2);
+        build_approx_index(
+            g,
+            ApproxConfig {
+                method: ApproxMethod::KPartitionMinHashJaccard,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn heuristic_reduces_sketched_set() {
+        // Heavy-tailed graph: with the heuristic only hubs get sketched,
+        // and estimates differ from the no-heuristic run only on hub-hub
+        // edges.
+        let g = generators::rmat(10, 16, 7);
+        let with = approx_similarities(
+            &g,
+            &ApproxConfig {
+                samples: 32,
+                degree_heuristic: true,
+                ..Default::default()
+            },
+        );
+        let exact = compute_full_merge(&g, SimilarityMeasure::Cosine);
+        let threshold = 32;
+        for (u, v, slot) in g.canonical_edges() {
+            if g.degree(u) <= threshold || g.degree(v) <= threshold {
+                assert_eq!(with.slot(slot), exact.slot(slot), "edge ({u},{v})");
+            }
+        }
+    }
+}

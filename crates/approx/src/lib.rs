@@ -1,0 +1,32 @@
+//! Locality-sensitive hashing for approximate SCAN (§5–§6.3 of the paper).
+//!
+//! Exact index construction costs `Ω(min{αm, n^ω})` work in the similarity
+//! phase. This crate replaces exact similarities with LSH estimates:
+//!
+//! - [`simhash`]: `k`-sample SimHash sketches of closed neighborhoods
+//!   estimate cosine similarity (Theorem 5.2 gives the classification
+//!   guarantee); works on weighted and unweighted graphs.
+//! - [`minhash`]: standard `k`-sample MinHash (Theorem 5.3) and the
+//!   `k`-partition / one-permutation variant with rotation densification
+//!   that the paper's implementation uses (§6.3), for Jaccard similarity
+//!   on unweighted graphs.
+//! - [`approx_index`]: assembling an approximate [`parscan_core::ScanIndex`],
+//!   including the low-degree heuristic of §6.3 — vertices whose degree is
+//!   below a threshold (`k` for cosine, `3k/2` for Jaccard) keep *exact*
+//!   similarities, because sketching them costs more than merging.
+//! - [`theory`]: the sample-size bounds of Theorems 5.1–5.3.
+//! - [`sampling`]: the LinkSCAN\*-style neighborhood-sampling estimator —
+//!   the alternative approximation §8 explicitly proposes comparing
+//!   against LSH.
+
+pub mod approx_index;
+pub mod minhash;
+pub mod rng;
+pub mod sampling;
+pub mod simhash;
+pub mod theory;
+
+pub use approx_index::{build_approx_index, ApproxConfig, ApproxMethod};
+pub use minhash::{KPartitionMinHash, StandardMinHash};
+pub use sampling::{build_sampled_index, sampled_similarities_for, SamplingConfig};
+pub use simhash::SimHashSketches;

@@ -1,0 +1,69 @@
+//! Deterministic hash-derived randomness for LSH.
+//!
+//! The paper draws `k·n` i.i.d. standard normals for SimHash (§5, via
+//! Box–Muller). Materializing that matrix costs `O(kn)` space; instead we
+//! derive `g_i(x)` deterministically from `(seed, i, x)` by hashing — the
+//! same trick used by production LSH systems. Each value is still
+//! (pseudo-)normal and independent across `(i, x)` pairs for all practical
+//! purposes, and sketches become reproducible for a fixed seed.
+
+use parscan_parallel::utils::{hash64, hash64_pair};
+
+/// Uniform `(0, 1)` double from a hash (never exactly 0 or 1).
+#[inline]
+pub fn uniform01(h: u64) -> f64 {
+    // 53 random mantissa bits, shifted into (0, 1).
+    (((h >> 11) as f64) + 0.5) / (1u64 << 53) as f64
+}
+
+/// Standard normal via the Box–Muller transform (§5 cites Box & Muller),
+/// derived from two independent hashes of the input key.
+#[inline]
+pub fn gaussian(seed: u64, sample: u64, item: u64) -> f64 {
+    let key = hash64_pair(seed, (sample << 32) ^ item);
+    let u1 = uniform01(key);
+    let u2 = uniform01(hash64(key ^ 0x9e37_79b9_7f4a_7c15));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Uniform u64 for MinHash permutation values.
+#[inline]
+pub fn uniform_u64(seed: u64, sample: u64, item: u64) -> u64 {
+    hash64_pair(seed ^ sample.rotate_left(17), item)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments() {
+        // Empirical mean ≈ 0, variance ≈ 1 over many draws.
+        let n = 200_000u64;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for i in 0..n {
+            let g = gaussian(42, i % 64, i);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(gaussian(1, 2, 3), gaussian(1, 2, 3));
+        assert_ne!(gaussian(1, 2, 3), gaussian(2, 2, 3));
+        assert_ne!(gaussian(1, 2, 3), gaussian(1, 3, 3));
+    }
+
+    #[test]
+    fn uniform01_in_open_interval() {
+        for i in 0..10_000u64 {
+            let u = uniform01(hash64(i));
+            assert!(u > 0.0 && u < 1.0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Sample-size bounds from Theorems 5.1–5.3.
+//!
+//! With `k ≥ π² ln(nm) / (2δ²)` SimHash samples, w.h.p. every edge whose
+//! exact cosine similarity falls outside `(ε − δ, ε + √(1 − ε²)·δ)` is
+//! classified on the correct side of ε (Theorem 5.2). The MinHash bound is
+//! `k ≥ ln(nm) / (2δ²)` with symmetric band `(ε − δ, ε + δ)` (Theorem 5.3).
+//! The paper notes (and §7.3 confirms) that far smaller `k` already gives
+//! good clusterings; these bounds are the worst-case guarantees.
+
+/// SimHash samples sufficient for Theorem 5.2's guarantee.
+pub fn simhash_samples(n: usize, m: usize, delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0);
+    let ln_nm = ((n.max(1) as f64) * (m.max(1) as f64)).ln();
+    let pi2 = std::f64::consts::PI * std::f64::consts::PI;
+    (pi2 * ln_nm / (2.0 * delta * delta)).ceil() as usize
+}
+
+/// Standard-MinHash samples sufficient for Theorem 5.3's guarantee.
+pub fn minhash_samples(n: usize, m: usize, delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0);
+    let ln_nm = ((n.max(1) as f64) * (m.max(1) as f64)).ln();
+    (ln_nm / (2.0 * delta * delta)).ceil() as usize
+}
+
+/// The cosine misclassification band of Theorem 5.2: edges with exact
+/// similarity inside `(lo, hi)` carry no guarantee; all others are
+/// correctly classified w.h.p.
+pub fn cosine_uncertainty_band(epsilon: f64, delta: f64) -> (f64, f64) {
+    (
+        epsilon - delta,
+        epsilon + (1.0 - epsilon * epsilon).max(0.0).sqrt() * delta,
+    )
+}
+
+/// The Jaccard misclassification band of Theorem 5.3.
+pub fn jaccard_uncertainty_band(epsilon: f64, delta: f64) -> (f64, f64) {
+    (epsilon - delta, epsilon + delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::StandardMinHash;
+    use crate::simhash::SimHashSketches;
+    use parscan_core::similarity::SimilarityMeasure;
+    use parscan_core::similarity_exact::compute_full_merge;
+    use parscan_graph::generators;
+
+    #[test]
+    fn bounds_shrink_with_larger_delta() {
+        let a = simhash_samples(1000, 10_000, 0.05);
+        let b = simhash_samples(1000, 10_000, 0.1);
+        assert!(a > b);
+        // SimHash needs π² more samples than MinHash at equal δ.
+        let mh = minhash_samples(1000, 10_000, 0.1);
+        assert!((b as f64 / mh as f64 - std::f64::consts::PI.powi(2)).abs() < 0.1);
+    }
+
+    #[test]
+    fn band_shapes() {
+        let (lo, hi) = cosine_uncertainty_band(0.9, 0.1);
+        assert!((lo - 0.8).abs() < 1e-12);
+        // √(1 − .81) ≈ .4359 → hi ≈ .9436: asymmetric, wider above.
+        assert!(hi > 0.94 && hi < 0.945);
+        let (jlo, jhi) = jaccard_uncertainty_band(0.5, 0.1);
+        assert_eq!((jlo, jhi), (0.4, 0.6));
+    }
+
+    /// Empirical check of Theorem 5.2: with the prescribed k, every edge
+    /// outside the uncertainty band classifies correctly.
+    #[test]
+    fn theorem_5_2_classification_holds() {
+        let g = generators::erdos_renyi(60, 350, 10);
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let exact = compute_full_merge(&g, SimilarityMeasure::Cosine);
+        let delta = 0.15;
+        let eps = 0.5f64;
+        let k = simhash_samples(n, m, delta);
+        let sketches = SimHashSketches::build(&g, k, 123, |_| true);
+        let (lo, hi) = cosine_uncertainty_band(eps, delta);
+        for (u, v, slot) in g.canonical_edges() {
+            let s = exact.slot(slot) as f64;
+            if s <= lo || s >= hi {
+                let est = sketches.estimate(u, v) as f64;
+                assert_eq!(
+                    est >= eps,
+                    s >= eps,
+                    "edge ({u},{v}): exact {s}, estimate {est}"
+                );
+            }
+        }
+    }
+
+    /// Empirical check of Theorem 5.3 for standard MinHash.
+    #[test]
+    fn theorem_5_3_classification_holds() {
+        let g = generators::erdos_renyi(60, 350, 11);
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let exact = compute_full_merge(&g, SimilarityMeasure::Jaccard);
+        let delta = 0.15;
+        let eps = 0.4f64;
+        let k = minhash_samples(n, m, delta);
+        let mh = StandardMinHash::build(&g, k, 77, |_| true);
+        let (lo, hi) = jaccard_uncertainty_band(eps, delta);
+        for (u, v, slot) in g.canonical_edges() {
+            let s = exact.slot(slot) as f64;
+            if s <= lo || s >= hi {
+                let est = mh.estimate(u, v) as f64;
+                assert_eq!(
+                    est >= eps,
+                    s >= eps,
+                    "edge ({u},{v}): exact {s}, estimate {est}"
+                );
+            }
+        }
+    }
+}

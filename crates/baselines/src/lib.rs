@@ -1,0 +1,28 @@
+//! The comparison systems of the paper's evaluation (§7.1), reimplemented
+//! from their defining papers:
+//!
+//! - [`original_scan`] — the original sequential SCAN of Xu et al. (KDD
+//!   2007): per-edge similarity computation plus a modified BFS.
+//! - [`gs_index`] — the sequential GS*-Index of Wen et al. (VLDB 2017):
+//!   the index this paper parallelizes; its construction and query times
+//!   are the sequential baselines of Figures 5–7.
+//! - [`pscan`] — pruning-based SCAN of Chang et al. (TKDE 2017) with the
+//!   effective-degree/similar-degree pruning rules, in a sequential form
+//!   and a shared-memory parallel form standing in for ppSCAN (Che et al.,
+//!   ICPP 2018; we do not reproduce their AVX2 kernels — see DESIGN.md §3).
+//! - [`scanxp`] — SCAN-XP (Takahashi et al., NDA 2017): parallel, eager,
+//!   unpruned per-query SCAN, the no-frills parallel competitor §8 cites.
+//!
+//! All baselines produce SCAN clusterings with identical cores for equal
+//! parameters; border attachment may differ within SCAN's allowed
+//! ambiguity (§3.1), exactly as the paper notes for its own comparisons.
+
+pub mod gs_index;
+pub mod original_scan;
+pub mod pscan;
+pub mod scanxp;
+
+pub use gs_index::SequentialGsIndex;
+pub use original_scan::original_scan;
+pub use pscan::{ppscan_parallel, pscan_sequential};
+pub use scanxp::scanxp_parallel;

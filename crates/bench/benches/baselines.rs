@@ -1,0 +1,55 @@
+//! Criterion comparison of the parallel index against the reimplemented
+//! baselines (sequential GS*-Index, pSCAN/ppSCAN, original SCAN) — the
+//! micro-scale counterpart of Figures 5–7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parscan_baselines::{original_scan, ppscan_parallel, pscan_sequential, SequentialGsIndex};
+use parscan_core::{IndexConfig, QueryParams, ScanIndex, SimilarityMeasure};
+use parscan_graph::CsrGraph;
+
+fn bench_graph() -> CsrGraph {
+    parscan_graph::generators::rmat(13, 10, 7)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let g = bench_graph();
+    let m = g.num_edges();
+    let mut group = c.benchmark_group("baseline_construction");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("parallel_index", m), |b| {
+        b.iter(|| ScanIndex::build(g.clone(), IndexConfig::default()))
+    });
+    group.bench_function(BenchmarkId::new("gs_index_sequential", m), |b| {
+        b.iter(|| SequentialGsIndex::build(&g, SimilarityMeasure::Cosine))
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let g = bench_graph();
+    let index = ScanIndex::build(g.clone(), IndexConfig::default());
+    let gs = SequentialGsIndex::build(&g, SimilarityMeasure::Cosine);
+    let params = QueryParams::new(5, 0.5);
+
+    let mut group = c.benchmark_group("baseline_query_mu5_eps0.5");
+    group.sample_size(20);
+    group.bench_function("parallel_index_query", |b| {
+        b.iter(|| index.cluster(std::hint::black_box(params)))
+    });
+    group.bench_function("gs_index_query", |b| {
+        b.iter(|| gs.query(std::hint::black_box(5), std::hint::black_box(0.5)))
+    });
+    group.bench_function("ppscan_per_query", |b| {
+        b.iter(|| ppscan_parallel(&g, SimilarityMeasure::Cosine, 5, 0.5))
+    });
+    group.bench_function("pscan_sequential_per_query", |b| {
+        b.iter(|| pscan_sequential(&g, SimilarityMeasure::Cosine, 5, 0.5))
+    });
+    group.bench_function("original_scan_per_query", |b| {
+        b.iter(|| original_scan(&g, SimilarityMeasure::Cosine, 5, 0.5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation of the §6.2 design choice: concurrent union-find over the
+//! implicit ε-similar core subgraph vs the literal Algorithm 5
+//! (materialize `similar_core_edges`, run parallel connected components).
+//!
+//! Paper claim being probed: union-find "avoids materializing the
+//! subgraph", so the query should win mainly at small outputs where the
+//! materialization overhead dominates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parscan_core::{
+    CoreConnectivity, IndexConfig, QueryOptions, QueryParams, ScanIndex,
+};
+use parscan_parallel::connectivity::connected_components;
+use parscan_parallel::union_find::ConcurrentUnionFind;
+use parscan_parallel::utils::hash64;
+
+fn bench_query_backends(c: &mut Criterion) {
+    let (g, _) = parscan_graph::generators::planted_partition(20_000, 50, 14.0, 1.5, 5);
+    let index = ScanIndex::build(g, IndexConfig::default());
+    let mut group = c.benchmark_group("query_connectivity_backend");
+    group.sample_size(20);
+    for eps in [0.3f32, 0.5, 0.7] {
+        let params = QueryParams::new(4, eps);
+        group.bench_function(BenchmarkId::new("union_find", format!("eps{eps}")), |b| {
+            b.iter(|| {
+                index.cluster_with_opts(
+                    params,
+                    QueryOptions {
+                        connectivity: CoreConnectivity::UnionFind,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+        group.bench_function(
+            BenchmarkId::new("materialized", format!("eps{eps}")),
+            |b| {
+                b.iter(|| {
+                    index.cluster_with_opts(
+                        params,
+                        QueryOptions {
+                            connectivity: CoreConnectivity::Materialized,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_raw_components(c: &mut Criterion) {
+    // Raw primitive comparison on a random edge set.
+    let n = 1 << 17;
+    let m = 1 << 20;
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|i| {
+            (
+                (hash64(i as u64) % n as u64) as u32,
+                (hash64(i as u64 ^ 0xabcd) % n as u64) as u32,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("raw_connectivity");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("label_propagation", m), |b| {
+        b.iter(|| connected_components(n, &edges))
+    });
+    group.bench_function(BenchmarkId::new("union_find", m), |b| {
+        b.iter(|| {
+            let uf = ConcurrentUnionFind::new(n);
+            parscan_parallel::primitives::par_for(edges.len(), 2048, |i| {
+                let (u, v) = edges[i];
+                uf.union(u, v);
+            });
+            uf.components()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_backends, bench_raw_components);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Index construction (Figure 5's measurement as a Criterion bench),
+//! including the Thm 4.1 vs Thm 4.2 sorting ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parscan_baselines::SequentialGsIndex;
+use parscan_core::{ExactStrategy, IndexConfig, ScanIndex, SimilarityMeasure, SortStrategy};
+use parscan_graph::generators;
+
+fn bench_construction(c: &mut Criterion) {
+    let g = generators::rmat(13, 12, 7);
+    let mut group = c.benchmark_group("index_construction_rmat13x12");
+    group.sample_size(10);
+    for (sort, name) in [
+        (SortStrategy::Integer, "parallel_integer_sort"),
+        (SortStrategy::Comparison, "parallel_comparison_sort"),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ScanIndex::build(
+                    g.clone(),
+                    IndexConfig {
+                        measure: SimilarityMeasure::Cosine,
+                        exact: ExactStrategy::MergeBased,
+                        sort,
+                    },
+                )
+            })
+        });
+    }
+    group.bench_function("sequential_gs_index", |b| {
+        b.iter(|| SequentialGsIndex::build(std::hint::black_box(&g), SimilarityMeasure::Cosine))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Clustering query latency (Figures 6–7 as Criterion benches): the
+//! index-based query against the per-query baselines, at a mid-range and
+//! a selective ε, plus the border-assignment-mode ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parscan_baselines::{ppscan_parallel, SequentialGsIndex};
+use parscan_core::{BorderAssignment, IndexConfig, QueryParams, ScanIndex, SimilarityMeasure};
+use parscan_graph::generators;
+
+fn bench_query(c: &mut Criterion) {
+    let g = generators::rmat(13, 12, 11);
+    let index = ScanIndex::build(g.clone(), IndexConfig::default());
+    let gs = SequentialGsIndex::build(&g, SimilarityMeasure::Cosine);
+
+    let mut group = c.benchmark_group("query_rmat13x12");
+    group.sample_size(20);
+    for eps in [0.2f32, 0.6] {
+        let params = QueryParams::new(5, eps);
+        group.bench_with_input(BenchmarkId::new("index_parallel", eps), &params, |b, &p| {
+            b.iter(|| index.cluster(p))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("index_most_similar_border", eps),
+            &params,
+            |b, &p| b.iter(|| index.cluster_with(p, BorderAssignment::MostSimilar)),
+        );
+        group.bench_with_input(BenchmarkId::new("gs_index_seq", eps), &params, |b, &p| {
+            b.iter(|| gs.query(p.mu, p.epsilon))
+        });
+        group.bench_with_input(BenchmarkId::new("ppscan", eps), &params, |b, &p| {
+            b.iter(|| ppscan_parallel(&g, SimilarityMeasure::Cosine, p.mu, p.epsilon))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

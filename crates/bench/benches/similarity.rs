@@ -1,0 +1,43 @@
+//! Ablation of §6.1's design choice: merge-based vs hash-based (Alg. 1)
+//! vs per-edge full merges vs matrix multiplication for the similarity
+//! phase. The paper picked merge-based after the same comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parscan_core::similarity_exact::{
+    compute_full_merge, compute_hash_based, compute_merge_based,
+};
+use parscan_core::SimilarityMeasure;
+use parscan_dense::compute_similarities_mm;
+use parscan_graph::generators;
+
+fn bench_similarity(c: &mut Criterion) {
+    let g = generators::rmat(13, 12, 42);
+    let mut group = c.benchmark_group("similarity_rmat13x12");
+    group.sample_size(10);
+    group.bench_function("merge_based", |b| {
+        b.iter(|| compute_merge_based(std::hint::black_box(&g), SimilarityMeasure::Cosine))
+    });
+    group.bench_function("hash_based", |b| {
+        b.iter(|| compute_hash_based(std::hint::black_box(&g), SimilarityMeasure::Cosine))
+    });
+    group.bench_function("full_merge", |b| {
+        b.iter(|| compute_full_merge(std::hint::black_box(&g), SimilarityMeasure::Cosine))
+    });
+    group.finish();
+
+    // Dense small graph: where the MM variant is viable (Figure 5's
+    // blood-vessel/cochlea regime).
+    let (dense, _) = generators::weighted_planted_partition(1500, 10, 80.0, 10.0, 9);
+    let mut group = c.benchmark_group("similarity_dense_weighted");
+    group.sample_size(10);
+    group.bench_function("merge_based", |b| {
+        b.iter(|| compute_merge_based(std::hint::black_box(&dense), SimilarityMeasure::Cosine))
+    });
+    group.bench_function("matmul", |b| {
+        b.iter(|| compute_similarities_mm(std::hint::black_box(&dense), SimilarityMeasure::Cosine))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 5 reproduction: exact-cosine index construction times.
+//!
+//! Series (as in the paper): GBBSIndexSCAN on all threads, GBBSIndexSCAN
+//! on 1 thread, GS*-Index (sequential baseline, unweighted graphs only),
+//! and GBBSIndexSCAN-MM (matmul similarities, dense weighted graphs only).
+//!
+//! Paper shape to verify: parallel construction beats the sequential
+//! baseline by a large factor (50–151× on 48 cores; proportionally less
+//! here), the 1-thread run already beats GS*-Index (1.4–2.2× in the
+//! paper, thanks to directed triangle counting), and MM wins only on the
+//! small dense graphs.
+
+use parscan_baselines::SequentialGsIndex;
+use parscan_bench::{datasets, timing};
+use parscan_core::{IndexConfig, ScanIndex, SimilarityMeasure};
+use parscan_dense::compute_similarities_mm;
+use parscan_parallel::pool;
+
+fn main() {
+    let max_threads = pool::max_threads();
+    println!("Figure 5: index construction, exact cosine ({} threads)", max_threads);
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9}",
+        "graph", "par", "1-thread", "GS*-Index", "par-MM", "par/GS*", "self-rel"
+    );
+    for d in datasets::datasets() {
+        let g = &d.graph;
+        let config = IndexConfig::default();
+
+        pool::set_active_threads(max_threads);
+        let t_par = timing::median_time(|| {
+            std::hint::black_box(ScanIndex::build(g.clone(), config));
+        });
+
+        pool::set_active_threads(1);
+        let t_seq = timing::median_time(|| {
+            std::hint::black_box(ScanIndex::build(g.clone(), config));
+        });
+        pool::set_active_threads(max_threads);
+
+        let t_gs = (!g.is_weighted()).then(|| {
+            timing::median_time(|| {
+                std::hint::black_box(SequentialGsIndex::build(g, SimilarityMeasure::Cosine));
+            })
+        });
+
+        // MM only where the matrix fits (the dense weighted stand-ins).
+        let n = g.num_vertices();
+        let t_mm = (n * n <= parscan_dense::similarity_mm::MAX_DENSE_ENTRIES
+            && datasets::dense_weighted_names().contains(&d.name))
+        .then(|| {
+            timing::median_time(|| {
+                std::hint::black_box(compute_similarities_mm(g, SimilarityMeasure::Cosine));
+            })
+        });
+
+        println!(
+            "{:<16} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9}",
+            d.name,
+            timing::fmt_time(t_par),
+            timing::fmt_time(t_seq),
+            t_gs.map_or("n/a".into(), timing::fmt_time),
+            t_mm.map_or("n/a".into(), timing::fmt_time),
+            t_gs.map_or("n/a".into(), |t| format!("{:.1}x", t / t_par)),
+            format!("{:.1}x", t_seq / t_par),
+        );
+    }
+}

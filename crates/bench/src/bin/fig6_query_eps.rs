@@ -1,0 +1,70 @@
+//! Figure 6 reproduction: clustering query time, μ = 5, ε ∈ {0.1 … 0.9},
+//! exact cosine.
+//!
+//! Series: GBBSIndexSCAN query on all threads / 1 thread, GS*-Index query
+//! (sequential), ppSCAN-like (parallel, per-query similarity work), and
+//! SCAN-XP-like (parallel, unpruned) as the related-work reference point.
+//! Paper shape: index queries are output-sensitive (fast at high ε),
+//! always beating ppSCAN, with the parallel query 5–32× over GS*-Index;
+//! pruning (ppSCAN) beats eager computation (SCAN-XP).
+
+use parscan_baselines::{ppscan_parallel, scanxp_parallel, SequentialGsIndex};
+use parscan_bench::{datasets, timing};
+use parscan_core::{IndexConfig, QueryParams, ScanIndex, SimilarityMeasure};
+use parscan_parallel::pool;
+
+fn main() {
+    let max_threads = pool::max_threads();
+    let mu = 5u32;
+    println!("Figure 6: query time vs ε (μ = {mu}, exact cosine, {max_threads} threads)");
+    for d in datasets::datasets() {
+        let g = &d.graph;
+        let index = ScanIndex::build(g.clone(), IndexConfig::default());
+        let gs = (!g.is_weighted()).then(|| SequentialGsIndex::build(g, SimilarityMeasure::Cosine));
+        println!("\n== {} (n={}, m={})", d.name, g.num_vertices(), g.num_edges());
+        println!(
+            "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+            "ε", "par", "1-thread", "GS*-Index", "ppSCAN", "SCAN-XP", "#clusters"
+        );
+        for eps_i in 1..=9 {
+            let eps = eps_i as f32 / 10.0;
+            let params = QueryParams::new(mu, eps);
+
+            pool::set_active_threads(max_threads);
+            let clusters = index.cluster(params).num_clusters();
+            let t_par = timing::median_time(|| {
+                std::hint::black_box(index.cluster(params));
+            });
+            pool::set_active_threads(1);
+            let t_seq = timing::median_time(|| {
+                std::hint::black_box(index.cluster(params));
+            });
+            pool::set_active_threads(max_threads);
+
+            let t_gs = gs.as_ref().map(|gs| {
+                timing::median_time(|| {
+                    std::hint::black_box(gs.query(mu, eps));
+                })
+            });
+            let t_pp = (!g.is_weighted()).then(|| {
+                timing::median_time(|| {
+                    std::hint::black_box(ppscan_parallel(g, SimilarityMeasure::Cosine, mu, eps));
+                })
+            });
+            let t_xp = timing::median_time(|| {
+                std::hint::black_box(scanxp_parallel(g, SimilarityMeasure::Cosine, mu, eps));
+            });
+
+            println!(
+                "{:>5.1} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+                eps,
+                timing::fmt_time(t_par),
+                timing::fmt_time(t_seq),
+                t_gs.map_or("n/a".into(), timing::fmt_time),
+                t_pp.map_or("n/a".into(), timing::fmt_time),
+                timing::fmt_time(t_xp),
+                clusters,
+            );
+        }
+    }
+}

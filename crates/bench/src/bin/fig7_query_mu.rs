@@ -1,0 +1,58 @@
+//! Figure 7 reproduction: clustering query time, ε = 0.6,
+//! μ ∈ {2, 4, 8, …, min(16384, 2^⌊log₂ max-degree⌋)}, exact cosine.
+
+use parscan_baselines::{ppscan_parallel, SequentialGsIndex};
+use parscan_bench::{datasets, timing};
+use parscan_core::{IndexConfig, QueryParams, ScanIndex, SimilarityMeasure};
+use parscan_parallel::pool;
+
+fn main() {
+    let max_threads = pool::max_threads();
+    let eps = 0.6f32;
+    println!("Figure 7: query time vs μ (ε = {eps}, exact cosine, {max_threads} threads)");
+    for d in datasets::datasets() {
+        let g = &d.graph;
+        let index = ScanIndex::build(g.clone(), IndexConfig::default());
+        let gs = (!g.is_weighted()).then(|| SequentialGsIndex::build(g, SimilarityMeasure::Cosine));
+        println!("\n== {} (max degree {})", d.name, g.max_degree());
+        println!(
+            "{:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
+            "μ", "par", "1-thread", "GS*-Index", "ppSCAN", "#clusters"
+        );
+        let max_mu = (g.max_degree().next_power_of_two() / 2).clamp(2, 16384) as u32;
+        let mut mu = 2u32;
+        while mu <= max_mu {
+            let params = QueryParams::new(mu, eps);
+            pool::set_active_threads(max_threads);
+            let clusters = index.cluster(params).num_clusters();
+            let t_par = timing::median_time(|| {
+                std::hint::black_box(index.cluster(params));
+            });
+            pool::set_active_threads(1);
+            let t_seq = timing::median_time(|| {
+                std::hint::black_box(index.cluster(params));
+            });
+            pool::set_active_threads(max_threads);
+            let t_gs = gs.as_ref().map(|gs| {
+                timing::median_time(|| {
+                    std::hint::black_box(gs.query(mu, eps));
+                })
+            });
+            let t_pp = (!g.is_weighted()).then(|| {
+                timing::median_time(|| {
+                    std::hint::black_box(ppscan_parallel(g, SimilarityMeasure::Cosine, mu, eps));
+                })
+            });
+            println!(
+                "{:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
+                mu,
+                timing::fmt_time(t_par),
+                timing::fmt_time(t_seq),
+                t_gs.map_or("n/a".into(), timing::fmt_time),
+                t_pp.map_or("n/a".into(), timing::fmt_time),
+                clusters,
+            );
+            mu *= 2;
+        }
+    }
+}

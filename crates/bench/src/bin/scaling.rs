@@ -1,0 +1,51 @@
+//! Self-relative scaling (supports §7.3.1's "23–70× self-relative speedup
+//! on 48 cores" and §7.3.2's parallel-query claims): sweep thread counts
+//! over index construction and a representative query.
+
+use parscan_bench::{datasets, timing};
+use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+use parscan_parallel::pool;
+
+fn main() {
+    let max_threads = pool::max_threads();
+    println!("Self-relative scaling sweep (max {max_threads} threads)");
+    for d in datasets::datasets() {
+        let g = &d.graph;
+        println!("\n== {} (n={}, m={})", d.name, g.num_vertices(), g.num_edges());
+        println!(
+            "{:>8} {:>14} {:>9} {:>14} {:>9}",
+            "threads", "construction", "speedup", "query(5,.6)", "speedup"
+        );
+        let params = QueryParams::new(5, 0.6);
+        let mut base_build = 0.0f64;
+        let mut base_query = 0.0f64;
+        let mut t = 1usize;
+        loop {
+            pool::set_active_threads(t);
+            let t_build = timing::median_time(|| {
+                std::hint::black_box(ScanIndex::build(g.clone(), IndexConfig::default()));
+            });
+            let index = ScanIndex::build(g.clone(), IndexConfig::default());
+            let t_query = timing::median_time(|| {
+                std::hint::black_box(index.cluster(params));
+            });
+            if t == 1 {
+                base_build = t_build;
+                base_query = t_query;
+            }
+            println!(
+                "{:>8} {:>14} {:>9} {:>14} {:>9}",
+                t,
+                timing::fmt_time(t_build),
+                format!("{:.2}x", base_build / t_build),
+                timing::fmt_time(t_query),
+                format!("{:.2}x", base_query / t_query),
+            );
+            if t >= max_threads {
+                break;
+            }
+            t = (t * 2).min(max_threads);
+        }
+        pool::set_active_threads(max_threads);
+    }
+}

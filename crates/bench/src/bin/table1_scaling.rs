@@ -1,0 +1,46 @@
+//! Table 1 empirical companion: construction-time scaling in m for the
+//! strategy combinations whose asymptotics Table 1 summarizes.
+//!
+//! The theory says integer sorting shaves the `log n` factor off the
+//! order-construction phase, and the similarity phase dominates overall;
+//! empirically, time per edge should stay near-flat as m grows (work
+//! ≈ linear in m on these bounded-arboricity inputs) for every strategy.
+
+use parscan_bench::timing;
+use parscan_core::{ExactStrategy, IndexConfig, ScanIndex, SimilarityMeasure, SortStrategy};
+use parscan_graph::generators;
+
+fn main() {
+    println!("Table 1 companion: construction time scaling on R-MAT graphs");
+    println!(
+        "{:<10} {:>9} {:>11} {:>14} {:>12}",
+        "strategy", "scale", "m", "time", "ns/edge"
+    );
+    for (exact, sort, label) in [
+        (ExactStrategy::MergeBased, SortStrategy::Integer, "merge+int"),
+        (ExactStrategy::MergeBased, SortStrategy::Comparison, "merge+cmp"),
+        (ExactStrategy::HashBased, SortStrategy::Integer, "hash+int"),
+        (ExactStrategy::HashBased, SortStrategy::Comparison, "hash+cmp"),
+    ] {
+        for scale in [11u32, 12, 13, 14] {
+            let g = generators::rmat(scale, 12, 0x7ab1e1 + scale as u64);
+            let m = g.num_edges();
+            let config = IndexConfig {
+                measure: SimilarityMeasure::Cosine,
+                exact,
+                sort,
+            };
+            let t = timing::median_time(|| {
+                std::hint::black_box(ScanIndex::build(g.clone(), config));
+            });
+            println!(
+                "{:<10} {:>9} {:>11} {:>14} {:>12.1}",
+                label,
+                scale,
+                m,
+                timing::fmt_time(t),
+                t * 1e9 / m as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Table 2 reproduction: summary of the benchmark graphs.
+//!
+//! Paper shape: six graphs, four social/web unweighted (large) and two
+//! tissue networks weighted (small n, dense). Our stand-ins preserve the
+//! relative density regimes at laptop scale.
+
+use parscan_bench::datasets;
+use parscan_graph::stats::graph_stats;
+
+fn main() {
+    println!("Table 2: benchmark graph summary (synthetic stand-ins; PARSCAN_SCALE={})", parscan_bench::datasets::scale());
+    println!(
+        "{:<16} {:<13} {:>9} {:>11} {:>8} {:>9} {:>11} {:>6} {:<10}",
+        "name", "paper graph", "n", "m", "avg deg", "max deg", "triangles", "degen", "type"
+    );
+    for d in datasets::datasets() {
+        let s = graph_stats(&d.graph);
+        println!(
+            "{:<16} {:<13} {:>9} {:>11} {:>8.1} {:>9} {:>11} {:>6} {:<10}",
+            d.name,
+            d.paper_name,
+            s.n,
+            s.m,
+            s.avg_degree,
+            s.max_degree,
+            s.triangles,
+            s.degeneracy,
+            if s.weighted { "weighted" } else { "unweighted" },
+        );
+    }
+}

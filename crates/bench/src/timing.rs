@@ -1,0 +1,73 @@
+//! Timing helpers: median-of-trials wall-clock measurement, matching the
+//! paper's protocol ("each time measurement is the median of five trials",
+//! §7.1). Trial counts default lower here to keep the full suite fast on
+//! laptops; raise with `PARSCAN_TRIALS`.
+
+use std::time::Instant;
+
+/// Wall-clock seconds of one run of `f`, returning its value too.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64(), value)
+}
+
+/// Number of trials (env `PARSCAN_TRIALS`, default 3).
+pub fn trials() -> usize {
+    std::env::var("PARSCAN_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(3)
+}
+
+/// Median wall-clock seconds over [`trials`] runs of `f`.
+pub fn median_time(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..trials())
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Pretty seconds with adaptive units.
+pub fn fmt_time(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.2}s", secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (t, v) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn median_is_finite() {
+        let t = median_time(|| {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert!(fmt_time(0.000001).ends_with("µs"));
+        assert!(fmt_time(0.01).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+}

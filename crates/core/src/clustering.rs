@@ -1,0 +1,180 @@
+//! Clustering results: per-vertex cluster labels plus core flags.
+
+use parscan_graph::VertexId;
+use std::collections::HashMap;
+
+/// Label for vertices outside every cluster.
+pub const UNCLUSTERED: u32 = u32::MAX;
+
+/// Role of a vertex in a SCAN clustering (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VertexRole {
+    /// Clustered, with `|N̄_ε(v)| ≥ μ`.
+    Core,
+    /// Clustered non-core (attached to an ε-similar core).
+    Border,
+    /// Unclustered with neighbors in ≥ 2 distinct clusters.
+    Hub,
+    /// Unclustered with neighbors in ≤ 1 cluster.
+    Outlier,
+}
+
+/// A SCAN clustering. `labels[v]` is the cluster id of `v` — the minimum
+/// core vertex id in the cluster, a deterministic representative — or
+/// [`UNCLUSTERED`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    pub labels: Vec<u32>,
+    pub core: Vec<bool>,
+    num_clusters: usize,
+}
+
+impl Clustering {
+    /// Wrap label/core arrays, counting clusters. A cluster's
+    /// representative is always its minimum core id, so the cluster count
+    /// is the number of vertices labeled by themselves.
+    pub fn new(labels: Vec<u32>, core: Vec<bool>) -> Self {
+        assert_eq!(labels.len(), core.len());
+        let num_clusters = parscan_parallel::primitives::reduce(
+            labels.len(),
+            8192,
+            0usize,
+            |v| usize::from(labels[v] == v as u32),
+            |a, b| a + b,
+        );
+        Clustering {
+            labels,
+            core,
+            num_clusters,
+        }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    #[inline]
+    pub fn is_clustered(&self, v: VertexId) -> bool {
+        self.labels[v as usize] != UNCLUSTERED
+    }
+
+    #[inline]
+    pub fn is_core(&self, v: VertexId) -> bool {
+        self.core[v as usize]
+    }
+
+    /// Number of clustered vertices.
+    pub fn num_clustered(&self) -> usize {
+        parscan_parallel::primitives::reduce(
+            self.labels.len(),
+            8192,
+            0usize,
+            |v| usize::from(self.labels[v] != UNCLUSTERED),
+            |a, b| a + b,
+        )
+    }
+
+    /// Members of every cluster, keyed by representative label.
+    pub fn members(&self) -> HashMap<u32, Vec<VertexId>> {
+        let mut map: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        for (v, &label) in self.labels.iter().enumerate() {
+            if label != UNCLUSTERED {
+                map.entry(label).or_default().push(v as VertexId);
+            }
+        }
+        map
+    }
+
+    /// Labels renumbered to `0..num_clusters` (order of first appearance),
+    /// `UNCLUSTERED` preserved. Handy for metrics and display.
+    pub fn renumbered_labels(&self) -> Vec<u32> {
+        let mut next = 0u32;
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        self.labels
+            .iter()
+            .map(|&l| {
+                if l == UNCLUSTERED {
+                    UNCLUSTERED
+                } else {
+                    *remap.entry(l).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                }
+            })
+            .collect()
+    }
+
+    /// Treat every unclustered vertex as a singleton cluster — the
+    /// convention the paper's modularity evaluation uses (§7.3.4).
+    pub fn labels_with_singletons(&self) -> Vec<u32> {
+        let n = self.labels.len() as u32;
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(v, &l)| if l == UNCLUSTERED { n + v as u32 } else { l })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Clustering {
+        // Clusters {0,1,2} (rep 0) and {4,5} (rep 4); 3 unclustered.
+        Clustering::new(
+            vec![0, 0, 0, UNCLUSTERED, 4, 4],
+            vec![true, true, false, false, true, true],
+        )
+    }
+
+    #[test]
+    fn counts() {
+        let c = sample();
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.num_clustered(), 5);
+        assert!(c.is_clustered(0));
+        assert!(!c.is_clustered(3));
+        assert!(c.is_core(0));
+        assert!(!c.is_core(2));
+    }
+
+    #[test]
+    fn members_grouping() {
+        let members = sample().members();
+        assert_eq!(members[&0], vec![0, 1, 2]);
+        assert_eq!(members[&4], vec![4, 5]);
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn renumbering_is_dense() {
+        let labels = sample().renumbered_labels();
+        assert_eq!(labels, vec![0, 0, 0, UNCLUSTERED, 1, 1]);
+    }
+
+    #[test]
+    fn singleton_labels_are_unique() {
+        let labels = sample().labels_with_singletons();
+        assert_eq!(labels[3], 6 + 3);
+        let mut distinct: Vec<u32> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 3); // {0}, {4}, singleton for 3
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::new(vec![], vec![]);
+        assert_eq!(c.num_clusters(), 0);
+        assert_eq!(c.num_clustered(), 0);
+    }
+}

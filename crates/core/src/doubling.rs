@@ -1,0 +1,80 @@
+//! Doubling (galloping) search, the work-optimal prefix search of §4.1.2:
+//! finding the boundary of a predicate-true prefix at position `j` costs
+//! `O(log j)` instead of the `O(log n)` of a plain binary search — the
+//! ingredient that keeps clustering queries output-sensitive (Thm 4.3).
+
+/// Length of the longest prefix of `slice` on which `pred` holds, assuming
+/// `pred` is monotone (true on a prefix, false afterwards).
+pub fn doubling_search_prefix<T, P>(slice: &[T], pred: P) -> usize
+where
+    P: Fn(&T) -> bool,
+{
+    let n = slice.len();
+    if n == 0 || !pred(&slice[0]) {
+        return 0;
+    }
+    // Gallop: find the first power-of-two index where pred fails.
+    let mut bound = 1usize;
+    while bound < n && pred(&slice[bound]) {
+        bound *= 2;
+    }
+    // The boundary lies in (bound/2, min(bound, n)]; binary search there.
+    let lo = bound / 2 + 1;
+    let hi = bound.min(n);
+    lo + slice[lo..hi].partition_point(|x| pred(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(slice: &[i32], threshold: i32) -> usize {
+        slice.iter().take_while(|&&x| x >= threshold).count()
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert_eq!(doubling_search_prefix(&[] as &[i32], |_| true), 0);
+        assert_eq!(doubling_search_prefix(&[1], |&x| x > 0), 1);
+        assert_eq!(doubling_search_prefix(&[1], |&x| x > 5), 0);
+    }
+
+    #[test]
+    fn matches_take_while_on_descending_data() {
+        // Non-increasing data, prefix predicate x >= t — exactly the
+        // core-order / neighbor-order query shape.
+        let data: Vec<i32> = (0..1000).rev().map(|x| x / 3).collect();
+        for t in [-1, 0, 1, 50, 100, 200, 332, 333, 334, 1000] {
+            let got = doubling_search_prefix(&data, |&x| x >= t);
+            assert_eq!(got, oracle(&data, t), "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn all_true_and_all_false() {
+        let data = vec![5i32; 77];
+        assert_eq!(doubling_search_prefix(&data, |&x| x == 5), 77);
+        assert_eq!(doubling_search_prefix(&data, |&x| x != 5), 0);
+    }
+
+    #[test]
+    fn boundary_at_every_position() {
+        let n = 40;
+        for boundary in 0..=n {
+            let data: Vec<i32> = (0..n).map(|i| i32::from(i < boundary)).collect();
+            assert_eq!(
+                doubling_search_prefix(&data, |&x| x == 1),
+                boundary,
+                "boundary {boundary}"
+            );
+        }
+    }
+
+    #[test]
+    fn powers_of_two_edges() {
+        for n in [1usize, 2, 3, 4, 7, 8, 9, 15, 16, 17, 63, 64, 65] {
+            let data = vec![1i32; n];
+            assert_eq!(doubling_search_prefix(&data, |&x| x == 1), n);
+        }
+    }
+}

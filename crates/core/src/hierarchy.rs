@@ -1,0 +1,251 @@
+//! Hierarchical clusterings from the SCAN index — the paper's §9 lists
+//! "quickly extracting hierarchical clusterings from the SCAN index" as
+//! future work; this module implements it as an extension.
+//!
+//! Fix `μ`. As ε decreases from 1 to 0, the set of cores only grows and
+//! ε-similar core–core edges only accumulate, so the SCAN clusters form a
+//! *nested* hierarchy: the clustering at ε′ < ε coarsens the clustering at
+//! ε (restricted to vertices that were already clustered). The dendrogram
+//! is built in one pass: an edge `{u, v}` becomes an *active core–core
+//! link* at strength `λ(u,v) = min(σ(u,v), thr_μ(u), thr_μ(v))` — the
+//! largest ε at which both endpoints are cores and the edge is ε-similar.
+//! Processing links by descending λ with a union-find yields every merge
+//! and its height, exactly like single-linkage clustering on a derived
+//! weighted graph.
+//!
+//! `cut(ε)` then reproduces the core assignments of
+//! [`crate::ScanIndex::cluster`] at `(μ, ε)` for every ε — verified by the
+//! tests — while the full hierarchy costs one `O(m α(n))`-ish sweep
+//! instead of one query per ε.
+
+use crate::clustering::UNCLUSTERED;
+use crate::index::ScanIndex;
+use parscan_graph::VertexId;
+use parscan_parallel::filter::filter_map_index;
+use parscan_parallel::sort::par_sort_unstable_by;
+
+/// One merge event: at `height` (an ε value), the components currently
+/// containing `a` and `b` join.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merge {
+    pub height: f32,
+    pub a: VertexId,
+    pub b: VertexId,
+}
+
+/// An ε-hierarchy for a fixed μ.
+pub struct EpsilonHierarchy {
+    mu: u32,
+    /// Merge events, sorted by non-increasing height.
+    merges: Vec<Merge>,
+    /// `thr_μ(v)`: the ε at which `v` becomes a core (NaN ⇒ never).
+    core_threshold: Vec<f32>,
+    n: usize,
+}
+
+impl EpsilonHierarchy {
+    /// Extract the hierarchy for `μ` from the index.
+    pub fn build(index: &ScanIndex, mu: u32) -> Self {
+        assert!(mu >= 2, "SCAN requires μ ≥ 2");
+        let g = index.graph();
+        let no = index.neighbor_order();
+        let n = g.num_vertices();
+
+        let core_threshold: Vec<f32> = (0..n as VertexId)
+            .map(|v| no.core_threshold(g, v, mu).unwrap_or(f32::NAN))
+            .collect();
+
+        // Candidate links: every edge between two potential cores, with
+        // strength min(σ, thr(u), thr(v)).
+        let mut links: Vec<Merge> = filter_map_index(n, |u| {
+            let u = u as VertexId;
+            let tu = core_threshold[u as usize];
+            if tu.is_nan() {
+                return None;
+            }
+            let mut local = Vec::new();
+            let range = g.slot_range(u);
+            let sims = index.similarities();
+            for s in range {
+                let v = g.slot_neighbor(s);
+                if v <= u {
+                    continue;
+                }
+                let tv = core_threshold[v as usize];
+                if tv.is_nan() {
+                    continue;
+                }
+                let height = sims.slot(s).min(tu).min(tv);
+                local.push(Merge { height, a: u, b: v });
+            }
+            (!local.is_empty()).then_some(local)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Descending height; ties by (a, b) for determinism.
+        par_sort_unstable_by(&mut links, |x, y| {
+            y.height
+                .partial_cmp(&x.height)
+                .expect("finite heights")
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+
+        // Keep only links that actually merge two components (a standard
+        // Kruskal filter); sequential union-find over the sorted links.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let mut merges = Vec::new();
+        for link in links {
+            let (ra, rb) = (find(&mut parent, link.a), find(&mut parent, link.b));
+            if ra != rb {
+                let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+                merges.push(link);
+            }
+        }
+
+        EpsilonHierarchy {
+            mu,
+            merges,
+            core_threshold,
+            n,
+        }
+    }
+
+    pub fn mu(&self) -> u32 {
+        self.mu
+    }
+
+    /// All merge events, non-increasing in height.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Core labels at level ε: every vertex that is a core at `(μ, ε)`
+    /// gets its cluster's minimum core id; all other vertices get
+    /// [`UNCLUSTERED`]. (Borders are a per-query choice, so the hierarchy
+    /// tracks cores only.)
+    pub fn cut(&self, epsilon: f32) -> Vec<u32> {
+        let mut parent: Vec<u32> = (0..self.n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for m in &self.merges {
+            if m.height < epsilon {
+                break; // sorted descending: nothing further applies
+            }
+            let (ra, rb) = (find(&mut parent, m.a), find(&mut parent, m.b));
+            if ra != rb {
+                let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..self.n as u32)
+            .map(|v| {
+                let t = self.core_threshold[v as usize];
+                if t.is_nan() || t < epsilon {
+                    UNCLUSTERED
+                } else {
+                    find(&mut parent, v)
+                }
+            })
+            .collect()
+    }
+
+    /// Number of clusters at level ε.
+    pub fn num_clusters_at(&self, epsilon: f32) -> usize {
+        let labels = self.cut(epsilon);
+        labels
+            .iter()
+            .enumerate()
+            .filter(|&(v, &l)| l == v as u32)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::query::QueryParams;
+    use parscan_graph::generators;
+
+    /// The hierarchy cut must reproduce the per-query core labeling.
+    fn check_cuts_match_queries(g: parscan_graph::CsrGraph, mu: u32) {
+        let index = ScanIndex::build(g, IndexConfig::default());
+        let hierarchy = EpsilonHierarchy::build(&index, mu);
+        for e in 0..=20 {
+            let eps = e as f32 * 0.05;
+            let eps = eps.min(1.0);
+            let cut = hierarchy.cut(eps);
+            let query = index.cluster(QueryParams::new(mu, eps));
+            for v in 0..cut.len() {
+                if query.core[v] {
+                    assert_eq!(cut[v], query.labels[v], "core {v} at ε={eps}");
+                } else {
+                    assert_eq!(cut[v], UNCLUSTERED, "non-core {v} at ε={eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_match_queries_figure1() {
+        check_cuts_match_queries(generators::paper_figure1(), 3);
+    }
+
+    #[test]
+    fn cuts_match_queries_random() {
+        let g = generators::erdos_renyi(200, 1400, 4);
+        for mu in [2u32, 3, 5] {
+            check_cuts_match_queries(g.clone(), mu);
+        }
+    }
+
+    #[test]
+    fn cuts_match_queries_clustered() {
+        let (g, _) = generators::planted_partition(300, 6, 10.0, 1.0, 8);
+        check_cuts_match_queries(g, 4);
+    }
+
+    #[test]
+    fn hierarchy_is_nested() {
+        let (g, _) = generators::planted_partition(300, 6, 10.0, 1.0, 9);
+        let index = ScanIndex::build(g, IndexConfig::default());
+        let h = EpsilonHierarchy::build(&index, 3);
+        // Lower ε ⇒ clusters only merge (for the surviving core set,
+        // labels at low ε refine to labels at high ε).
+        let fine = h.cut(0.6);
+        let coarse = h.cut(0.3);
+        for v in 0..fine.len() {
+            for u in 0..fine.len() {
+                if fine[v] != UNCLUSTERED && fine[v] == fine[u] {
+                    assert_eq!(coarse[v], coarse[u], "cluster split when ε lowered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_heights_non_increasing() {
+        let g = generators::rmat(8, 8, 3);
+        let index = ScanIndex::build(g, IndexConfig::default());
+        let h = EpsilonHierarchy::build(&index, 2);
+        for w in h.merges().windows(2) {
+            assert!(w[0].height >= w[1].height);
+        }
+    }
+}

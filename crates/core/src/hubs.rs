@@ -1,0 +1,133 @@
+//! Hub and outlier determination (§4.3): an unclustered vertex is a *hub*
+//! if its neighbors span at least two distinct clusters, else an
+//! *outlier*. `O(m + n)` work, logarithmic span — a parallel map over
+//! vertices with a per-vertex reduce over neighbor labels.
+
+use crate::clustering::{Clustering, VertexRole, UNCLUSTERED};
+use parscan_graph::{CsrGraph, VertexId};
+use parscan_parallel::primitives::par_map;
+
+/// Classify every vertex as core, border, hub, or outlier.
+pub fn classify_roles(g: &CsrGraph, clustering: &Clustering) -> Vec<VertexRole> {
+    assert_eq!(g.num_vertices(), clustering.num_vertices());
+    par_map(g.num_vertices(), 512, |v| {
+        let v = v as VertexId;
+        if clustering.is_clustered(v) {
+            if clustering.is_core(v) {
+                VertexRole::Core
+            } else {
+                VertexRole::Border
+            }
+        } else {
+            // Reduce over neighbor labels: does any pair differ?
+            let mut first: u32 = UNCLUSTERED;
+            let mut is_hub = false;
+            for &u in g.neighbors(v) {
+                let l = clustering.labels[u as usize];
+                if l == UNCLUSTERED {
+                    continue;
+                }
+                if first == UNCLUSTERED {
+                    first = l;
+                } else if l != first {
+                    is_hub = true;
+                    break;
+                }
+            }
+            if is_hub {
+                VertexRole::Hub
+            } else {
+                VertexRole::Outlier
+            }
+        }
+    })
+}
+
+/// Counts of each role — the summary the examples print.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoleCounts {
+    pub cores: usize,
+    pub borders: usize,
+    pub hubs: usize,
+    pub outliers: usize,
+}
+
+pub fn role_counts(roles: &[VertexRole]) -> RoleCounts {
+    let mut c = RoleCounts::default();
+    for r in roles {
+        match r {
+            VertexRole::Core => c.cores += 1,
+            VertexRole::Border => c.borders += 1,
+            VertexRole::Hub => c.hubs += 1,
+            VertexRole::Outlier => c.outliers += 1,
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{IndexConfig, ScanIndex};
+    use crate::query::QueryParams;
+    use parscan_graph::generators;
+
+    #[test]
+    fn figure1_roles_match_paper() {
+        let g = generators::paper_figure1();
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        let c = idx.cluster(QueryParams::new(3, 0.6));
+        let roles = classify_roles(idx.graph(), &c);
+        // Paper: hub vertex 5 (ours 4); outliers 9, 10 (ours 8, 9);
+        // border 11 (ours 10); everything else core.
+        assert_eq!(roles[4], VertexRole::Hub);
+        assert_eq!(roles[8], VertexRole::Outlier);
+        assert_eq!(roles[9], VertexRole::Outlier);
+        assert_eq!(roles[10], VertexRole::Border);
+        for v in [0usize, 1, 2, 3, 5, 6, 7] {
+            assert_eq!(roles[v], VertexRole::Core, "vertex {v}");
+        }
+        let counts = role_counts(&roles);
+        assert_eq!(
+            counts,
+            RoleCounts {
+                cores: 7,
+                borders: 1,
+                hubs: 1,
+                outliers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_are_outliers() {
+        let g = parscan_graph::from_edges(5, &[(0, 1)]);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        let c = idx.cluster(QueryParams::new(2, 0.5));
+        let roles = classify_roles(idx.graph(), &c);
+        for v in 2..5 {
+            assert_eq!(roles[v], VertexRole::Outlier);
+        }
+    }
+
+    #[test]
+    fn roles_partition_the_vertices() {
+        let (g, _) = generators::planted_partition(300, 3, 8.0, 1.0, 4);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        let c = idx.cluster(QueryParams::new(3, 0.5));
+        let roles = classify_roles(idx.graph(), &c);
+        let counts = role_counts(&roles);
+        assert_eq!(
+            counts.cores + counts.borders + counts.hubs + counts.outliers,
+            300
+        );
+        // Consistency with the clustering arrays.
+        for (v, r) in roles.iter().enumerate() {
+            match r {
+                VertexRole::Core => assert!(c.core[v]),
+                VertexRole::Border => assert!(!c.core[v] && c.labels[v] != UNCLUSTERED),
+                _ => assert_eq!(c.labels[v], UNCLUSTERED),
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The neighbor order NO (§3.2, Algorithm 2): each vertex's neighbors
+//! sorted by non-increasing similarity (ties by ascending id, making the
+//! structure canonical). Conceptually `NO[v]` begins with `v` itself at
+//! similarity 1.0 (paper Figure 2); we store only the neighbor part and
+//! account for the implicit self entry in [`NeighborOrder::core_threshold`].
+//!
+//! Two construction paths mirror Theorems 4.1/4.2:
+//!
+//! - **Comparison**: per-vertex parallel comparison sorts (`O(m log n)`),
+//! - **Integer**: one global stable radix sort of all `2m` slots keyed by
+//!   `(vertex, descending similarity)`. Similarities in `[0, 1]` map
+//!   monotonically to their IEEE-754 bit patterns, so the "rational → fixed
+//!   point integer" trick of §2.3.2 is exact here — both paths produce
+//!   identical orders.
+
+use crate::index::SortStrategy;
+use crate::similarity_exact::EdgeSimilarities;
+use parscan_graph::{CsrGraph, VertexId};
+use parscan_parallel::primitives::{par_for, par_map};
+use parscan_parallel::radix::par_radix_sort_by_key;
+use parscan_parallel::utils::SyncMutPtr;
+
+/// Neighbor order: per-vertex neighbor/similarity arrays sorted by
+/// (similarity desc, neighbor id asc), sharing the graph's offsets.
+#[derive(Clone, Debug)]
+pub struct NeighborOrder {
+    /// Neighbor ids in similarity-descending order, grouped per vertex.
+    nbr: Vec<VertexId>,
+    /// Similarities aligned with `nbr`.
+    sim: Vec<f32>,
+}
+
+impl NeighborOrder {
+    /// Build the neighbor order from per-slot similarities.
+    pub fn build(g: &CsrGraph, sims: &EdgeSimilarities, strategy: SortStrategy) -> Self {
+        match strategy {
+            SortStrategy::Comparison => Self::build_comparison(g, sims),
+            SortStrategy::Integer => Self::build_integer(g, sims),
+        }
+    }
+
+    fn build_comparison(g: &CsrGraph, sims: &EdgeSimilarities) -> Self {
+        let slots = g.num_slots();
+        let mut nbr = vec![0 as VertexId; slots];
+        let mut sim = vec![0f32; slots];
+        let nbr_ptr = SyncMutPtr::new(&mut nbr);
+        let sim_ptr = SyncMutPtr::new(&mut sim);
+        par_for(g.num_vertices(), 64, |v| {
+            let v = v as VertexId;
+            let range = g.slot_range(v);
+            let mut entries: Vec<(f32, VertexId)> = range
+                .clone()
+                .map(|s| (sims.slot(s), g.slot_neighbor(s)))
+                .collect();
+            entries.sort_unstable_by(|a, b| {
+                b.0.partial_cmp(&a.0)
+                    .expect("similarities are finite")
+                    .then(a.1.cmp(&b.1))
+            });
+            for (k, (s, x)) in entries.into_iter().enumerate() {
+                // SAFETY: per-vertex slot ranges are disjoint.
+                unsafe {
+                    nbr_ptr.write(range.start + k, x);
+                    sim_ptr.write(range.start + k, s);
+                }
+            }
+        });
+        NeighborOrder { nbr, sim }
+    }
+
+    fn build_integer(g: &CsrGraph, sims: &EdgeSimilarities) -> Self {
+        let slots = g.num_slots();
+        // Key layout: vertex id (high 32 bits) | similarity-descending
+        // (complemented IEEE bits, low 32). Payload: the original slot.
+        // Initial CSR order is neighbor-ascending per vertex, and the radix
+        // sort is stable, so equal similarities keep ascending-id order.
+        let mut keyed: Vec<(u64, u32)> = par_map(slots, 8192, |s| {
+            let v = g.slot_owner(s) as u64;
+            let desc_bits = !(sims.slot(s).to_bits()) as u64 & 0xffff_ffff;
+            ((v << 32) | desc_bits, s as u32)
+        });
+        let n = g.num_vertices() as u64;
+        let max_key = if n == 0 { 0 } else { ((n - 1) << 32) | 0xffff_ffff };
+        par_radix_sort_by_key(&mut keyed, |e| e.0, Some(max_key));
+        let nbr = par_map(slots, 8192, |k| g.slot_neighbor(keyed[k].1 as usize));
+        let sim = par_map(slots, 8192, |k| sims.slot(keyed[k].1 as usize));
+        NeighborOrder { nbr, sim }
+    }
+
+    /// Neighbors of `v` in non-increasing similarity order.
+    #[inline]
+    pub fn neighbors(&self, g: &CsrGraph, v: VertexId) -> &[VertexId] {
+        &self.nbr[g.slot_range(v)]
+    }
+
+    /// Similarities aligned with [`Self::neighbors`].
+    #[inline]
+    pub fn similarities(&self, g: &CsrGraph, v: VertexId) -> &[f32] {
+        &self.sim[g.slot_range(v)]
+    }
+
+    /// Core threshold of `v` for parameter `μ`: the similarity of the μ-th
+    /// entry of the conceptual `NO[v]` (which starts with `v` at 1.0), or
+    /// `None` when `|N̄(v)| < μ`. `v` is a core for `(μ, ε)` iff
+    /// `core_threshold(v, μ) >= Some(ε)`.
+    #[inline]
+    pub fn core_threshold(&self, g: &CsrGraph, v: VertexId, mu: u32) -> Option<f32> {
+        debug_assert!(mu >= 2);
+        let idx = mu as usize - 2; // skip the implicit self entry
+        let range = g.slot_range(v);
+        if idx < range.len() {
+            Some(self.sim[range.start + idx])
+        } else {
+            None
+        }
+    }
+
+    /// ε-similar neighbors of `v` (excluding `v` itself): the prefix of
+    /// `NO[v]` with similarity ≥ ε, found by doubling search.
+    pub fn epsilon_prefix(&self, g: &CsrGraph, v: VertexId, epsilon: f32) -> (&[VertexId], &[f32]) {
+        let range = g.slot_range(v);
+        let sims = &self.sim[range.clone()];
+        let len = crate::doubling::doubling_search_prefix(sims, |&s| s >= epsilon);
+        (&self.nbr[range.start..range.start + len], &sims[..len])
+    }
+
+    /// The raw per-slot arrays (neighbor ids, similarities) — used by the
+    /// index persistence code.
+    pub fn parts(&self) -> (&[VertexId], &[f32]) {
+        (&self.nbr, &self.sim)
+    }
+
+    /// Rebuild from raw parts (the inverse of [`Self::parts`]). The caller
+    /// is responsible for structural validity; [`Self::validate`] checks it.
+    ///
+    /// # Panics
+    /// Panics if the arrays have different lengths.
+    pub fn from_parts(nbr: Vec<VertexId>, sim: Vec<f32>) -> Self {
+        assert_eq!(nbr.len(), sim.len(), "misaligned neighbor-order parts");
+        NeighborOrder { nbr, sim }
+    }
+
+    /// Validate ordering invariants (used by tests and debug assertions).
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        for v in 0..g.num_vertices() as VertexId {
+            let sims = self.similarities(g, v);
+            let nbrs = self.neighbors(g, v);
+            for k in 1..sims.len() {
+                if sims[k - 1] < sims[k] {
+                    return Err(format!("NO[{v}] similarities increase at {k}"));
+                }
+                if sims[k - 1] == sims[k] && nbrs[k - 1] >= nbrs[k] {
+                    return Err(format!("NO[{v}] tie not id-ordered at {k}"));
+                }
+            }
+            // Same multiset of neighbors as the graph.
+            let mut a: Vec<VertexId> = nbrs.to_vec();
+            a.sort_unstable();
+            if a != g.neighbors(v) {
+                return Err(format!("NO[{v}] is not a permutation of N({v})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::SimilarityMeasure;
+    use crate::similarity_exact::compute_merge_based;
+    use parscan_graph::generators;
+
+    fn build_both(g: &CsrGraph) -> (NeighborOrder, NeighborOrder) {
+        let sims = compute_merge_based(g, SimilarityMeasure::Cosine);
+        (
+            NeighborOrder::build(g, &sims, SortStrategy::Comparison),
+            NeighborOrder::build(g, &sims, SortStrategy::Integer),
+        )
+    }
+
+    #[test]
+    fn figure1_neighbor_order() {
+        let g = generators::paper_figure1();
+        let (no, _) = build_both(&g);
+        // Paper Figure 2, NO[4] (our vertex 3): 2(.89), 1(.77), 3(.77), 5(.52)
+        // → ours: [1, 0, 2, 4] (ids shifted, tie .77 broken by id).
+        assert_eq!(no.neighbors(&g, 3), &[1, 0, 2, 4]);
+        let sims = no.similarities(&g, 3);
+        assert!((sims[0] - 0.894).abs() < 0.005);
+        assert!((sims[3] - 0.516).abs() < 0.005);
+    }
+
+    #[test]
+    fn strategies_identical() {
+        for seed in [3u64, 9] {
+            let g = generators::erdos_renyi(400, 3000, seed);
+            let (cmp, int) = build_both(&g);
+            assert_eq!(cmp.nbr, int.nbr);
+            assert_eq!(cmp.sim, int.sim);
+        }
+    }
+
+    #[test]
+    fn validate_invariants() {
+        let g = generators::rmat(9, 8, 2);
+        let (cmp, int) = build_both(&g);
+        assert_eq!(cmp.validate(&g), Ok(()));
+        assert_eq!(int.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn core_threshold_off_by_one() {
+        let g = generators::paper_figure1();
+        let (no, _) = build_both(&g);
+        // Vertex 3 (paper 4) has degree 4, closed size 5.
+        // μ = 2 → best neighbor similarity (.89); μ = 5 → worst (.52).
+        assert!((no.core_threshold(&g, 3, 2).unwrap() - 0.894).abs() < 0.005);
+        assert!((no.core_threshold(&g, 3, 5).unwrap() - 0.516).abs() < 0.005);
+        assert_eq!(no.core_threshold(&g, 3, 6), None);
+        // Degree-1 vertex 9 (paper 10): closed size 2.
+        assert!(no.core_threshold(&g, 9, 2).is_some());
+        assert_eq!(no.core_threshold(&g, 9, 3), None);
+    }
+
+    #[test]
+    fn epsilon_prefix_matches_linear_scan() {
+        let g = generators::erdos_renyi(200, 1500, 8);
+        let sims = compute_merge_based(&g, SimilarityMeasure::Cosine);
+        let no = NeighborOrder::build(&g, &sims, SortStrategy::Integer);
+        for v in 0..g.num_vertices() as VertexId {
+            for eps in [0.0f32, 0.2, 0.5, 0.7, 1.0] {
+                let (nbrs, s) = no.epsilon_prefix(&g, v, eps);
+                let want = no
+                    .similarities(&g, v)
+                    .iter()
+                    .take_while(|&&x| x >= eps)
+                    .count();
+                assert_eq!(nbrs.len(), want);
+                assert_eq!(s.len(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_neighbor_order() {
+        let (g, _) = generators::weighted_planted_partition(200, 4, 8.0, 1.0, 6);
+        let sims = compute_merge_based(&g, SimilarityMeasure::Cosine);
+        let cmp = NeighborOrder::build(&g, &sims, SortStrategy::Comparison);
+        let int = NeighborOrder::build(&g, &sims, SortStrategy::Integer);
+        assert_eq!(cmp.nbr, int.nbr);
+        assert_eq!(cmp.validate(&g), Ok(()));
+    }
+}

@@ -1,0 +1,403 @@
+//! Index persistence: save a [`ScanIndex`] to disk and load it back.
+//!
+//! The whole point of GS*-Index-style clustering is to pay the `O((α +
+//! log n)m)` construction cost once and answer many `(μ, ε)` queries
+//! afterwards (§1, §3.2). Persisting the index extends that amortization
+//! across program runs: an analyst can build overnight and explore
+//! parameters interactively later.
+//!
+//! The format is hand-rolled little-endian binary (consistent with the
+//! graph format in `parscan_graph::io`) with a trailing FNV-1a checksum, so
+//! torn writes and bit corruption are detected instead of silently
+//! producing wrong clusterings:
+//!
+//! ```text
+//! magic "PSCI" | version u32 | measure u8 | weighted u8
+//! | n u64 | slots u64
+//! | graph offsets (n+1)×u64 | graph neighbors slots×u32 | [weights slots×f32]
+//! | similarities slots×f32
+//! | NO neighbors slots×u32 | NO similarities slots×f32
+//! | CO offsets: count u64, count×u64 | CO vertices slots×u32 | CO thresholds slots×f32
+//! | fnv1a64 checksum of everything above, u64
+//! ```
+//!
+//! Every section length is implied by `n`/`slots`, which are themselves
+//! covered by the checksum; loading validates the checksum first and then
+//! re-validates CSR structural invariants, so a crafted file cannot panic
+//! deep inside query code.
+
+use crate::core_order::CoreOrder;
+use crate::index::ScanIndex;
+use crate::neighbor_order::NeighborOrder;
+use crate::similarity::SimilarityMeasure;
+use crate::similarity_exact::EdgeSimilarities;
+use parscan_graph::CsrGraph;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PSCI";
+const VERSION: u32 = 1;
+
+fn measure_tag(m: SimilarityMeasure) -> u8 {
+    match m {
+        SimilarityMeasure::Cosine => 0,
+        SimilarityMeasure::Jaccard => 1,
+        SimilarityMeasure::Dice => 2,
+    }
+}
+
+fn measure_from_tag(t: u8) -> Option<SimilarityMeasure> {
+    match t {
+        0 => Some(SimilarityMeasure::Cosine),
+        1 => Some(SimilarityMeasure::Jaccard),
+        2 => Some(SimilarityMeasure::Dice),
+        _ => None,
+    }
+}
+
+/// 64-bit word-at-a-time checksum (FNV-style multiply-xor over 8-byte
+/// little-endian words, splitmix finish). Not cryptographic — it guards
+/// against accidental corruption, not adversaries. Word-wise processing
+/// keeps save/load checksumming ~8× cheaper than per-byte FNV, which
+/// matters because the checksum pass touches every byte of the index.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ w).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        h ^= h >> 29;
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    h = (h ^ tail).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    h ^= h >> 32;
+    h
+}
+
+struct Buf(Vec<u8>);
+
+impl Buf {
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f32(&mut self, x: f32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl ScanIndex {
+    /// Serialize the index (graph included) to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let g = self.graph();
+        let (offsets, neighbors, weights) = g.parts();
+        let slots = g.num_slots();
+        let mut buf = Buf(Vec::with_capacity(64 + slots * 24));
+
+        buf.0.extend_from_slice(MAGIC);
+        buf.u32(VERSION);
+        buf.u8(measure_tag(self.measure()));
+        buf.u8(u8::from(weights.is_some()));
+        buf.u64(g.num_vertices() as u64);
+        buf.u64(slots as u64);
+
+        for &o in offsets {
+            buf.u64(o as u64);
+        }
+        for &x in neighbors {
+            buf.u32(x);
+        }
+        if let Some(ws) = weights {
+            for &w in ws {
+                buf.f32(w);
+            }
+        }
+        for &s in self.similarities().as_slice() {
+            buf.f32(s);
+        }
+        let (no_nbr, no_sim) = self.neighbor_order().parts();
+        for &x in no_nbr {
+            buf.u32(x);
+        }
+        for &s in no_sim {
+            buf.f32(s);
+        }
+        let (co_offsets, co_vertices, co_thresholds) = self.core_order().parts();
+        buf.u64(co_offsets.len() as u64);
+        for &o in co_offsets {
+            buf.u64(o as u64);
+        }
+        for &v in co_vertices {
+            buf.u32(v);
+        }
+        for &t in co_thresholds {
+            buf.f32(t);
+        }
+
+        let checksum = fnv1a64(&buf.0);
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&buf.0)?;
+        w.write_all(&checksum.to_le_bytes())?;
+        w.flush()
+    }
+
+    /// Load an index previously written by [`ScanIndex::save`], verifying
+    /// the checksum and structural invariants.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<ScanIndex> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(bad("file too short to be a parscan index"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        if fnv1a64(payload) != stored {
+            return Err(bad("checksum mismatch: index file is corrupted"));
+        }
+
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(bad("not a parscan index file"));
+        }
+        let version = cur.u32()?;
+        if version != VERSION {
+            return Err(bad(&format!("unsupported index version {version}")));
+        }
+        let measure = measure_from_tag(cur.u8()?)
+            .ok_or_else(|| bad("unknown similarity-measure tag"))?;
+        let weighted = cur.u8()? != 0;
+        let n = cur.len_u64()?;
+        let slots = cur.len_u64()?;
+
+        let offsets = cur.vec_u64_as_usize(n + 1)?;
+        let neighbors = cur.vec_u32(slots)?;
+        let weights = if weighted {
+            Some(cur.vec_f32(slots)?)
+        } else {
+            None
+        };
+        let graph = CsrGraph::try_from_parts(offsets, neighbors, weights)
+            .map_err(|e| bad(&format!("invalid graph in index file: {e}")))?;
+
+        let sims = EdgeSimilarities::from_per_slot(cur.vec_f32(slots)?);
+        let no = NeighborOrder::from_parts(cur.vec_u32(slots)?, cur.vec_f32(slots)?);
+        let n_offsets = cur.len_u64()?;
+        let co_offsets = cur.vec_u64_as_usize(n_offsets)?;
+        let co_vertices = cur.vec_u32(slots)?;
+        let co_thresholds = cur.vec_f32(slots)?;
+        if cur.pos != cur.bytes.len() {
+            return Err(bad("trailing bytes after index payload"));
+        }
+        if co_offsets.is_empty()
+            || co_offsets.windows(2).any(|w| w[0] > w[1])
+            || *co_offsets.last().unwrap() != co_vertices.len()
+        {
+            return Err(bad("invalid core-order offsets in index file"));
+        }
+        let co = CoreOrder::from_parts(co_offsets, co_vertices, co_thresholds);
+
+        let index = ScanIndex::from_existing_parts(graph, sims, no, co, measure);
+        index
+            .neighbor_order()
+            .validate(index.graph())
+            .map_err(|e| bad(&format!("invalid neighbor order in index file: {e}")))?;
+        Ok(index)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> io::Result<&'a [u8]> {
+        if self.pos + len > self.bytes.len() {
+            return Err(bad("index file truncated"));
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A u64 length field, bounded so corrupted lengths cannot trigger
+    /// enormous allocations before the (already verified) payload runs out.
+    fn len_u64(&mut self) -> io::Result<usize> {
+        let x = self.u64()?;
+        if x > self.bytes.len() as u64 {
+            return Err(bad("length field exceeds file size"));
+        }
+        Ok(x as usize)
+    }
+    fn vec_u32(&mut self, len: usize) -> io::Result<Vec<u32>> {
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn vec_f32(&mut self, len: usize) -> io::Result<Vec<f32>> {
+        let raw = self.take(len * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+    fn vec_u64_as_usize(&mut self, len: usize) -> io::Result<Vec<usize>> {
+        let raw = self.take(len * 8)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::query::QueryParams;
+    use parscan_graph::generators;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "parscan_persist_test_{name}_{}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn build_sample() -> ScanIndex {
+        let (g, _) = generators::planted_partition(300, 3, 9.0, 1.0, 4);
+        ScanIndex::build(g, IndexConfig::default())
+    }
+
+    #[test]
+    fn round_trip_preserves_queries() {
+        let idx = build_sample();
+        let p = tmp("round_trip");
+        idx.save(&p).unwrap();
+        let loaded = ScanIndex::load(&p).unwrap();
+        assert_eq!(loaded.measure(), idx.measure());
+        assert_eq!(loaded.graph(), idx.graph());
+        for (mu, eps) in [(2u32, 0.3f32), (3, 0.5), (5, 0.7)] {
+            let params = QueryParams::new(mu, eps);
+            assert_eq!(
+                idx.cluster_with(params, crate::query::BorderAssignment::MostSimilar),
+                loaded.cluster_with(params, crate::query::BorderAssignment::MostSimilar)
+            );
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn round_trip_weighted_jaccard_tagged() {
+        let (g, _) = generators::weighted_planted_partition(150, 2, 7.0, 1.0, 9);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        let p = tmp("weighted");
+        idx.save(&p).unwrap();
+        let loaded = ScanIndex::load(&p).unwrap();
+        assert!(loaded.graph().is_weighted());
+        assert_eq!(loaded.graph(), idx.graph());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn detects_single_flipped_byte() {
+        let idx = build_sample();
+        let p = tmp("flip");
+        idx.save(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Flip a byte in the middle of the payload.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = ScanIndex::load(&p).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let idx = build_sample();
+        let p = tmp("trunc");
+        idx.save(&p).unwrap();
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(ScanIndex::load(&p).is_err());
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let p = tmp("magic");
+        // A valid-looking checksum over a bogus payload still fails on magic.
+        let payload = b"XXXXjunkjunkjunk".to_vec();
+        let mut bytes = payload.clone();
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = ScanIndex::load(&p).unwrap_err();
+        assert!(err.to_string().contains("not a parscan index"), "{err}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let idx = build_sample();
+        let p = tmp("version");
+        idx.save(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[4] = 99; // bump version field
+        let len = bytes.len();
+        let sum = fnv1a64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = ScanIndex::load(&p).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = ScanIndex::load("/definitely/not/here.pscidx").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = parscan_graph::from_edges(0, &[]);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        let p = tmp("empty");
+        idx.save(&p).unwrap();
+        let loaded = ScanIndex::load(&p).unwrap();
+        assert_eq!(loaded.graph().num_vertices(), 0);
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Structural similarity measures (§2.1 / §4.1.1 of the paper).
+//!
+//! All measures operate on *closed* neighborhoods. For an edge `{u, v}`
+//! both `u` and `v` belong to `N̄(u) ∩ N̄(v)`, so the closed intersection
+//! always counts the two endpoints on top of the common open neighbors.
+
+/// Which similarity score the index stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SimilarityMeasure {
+    /// Cosine similarity of closed neighborhoods; on weighted graphs this
+    /// is the weighted cosine of §4.1.1 with `w(x, x) = 1`. The measure
+    /// used by the original SCAN and by all of the paper's experiments.
+    #[default]
+    Cosine,
+    /// Jaccard similarity `|N̄(u) ∩ N̄(v)| / |N̄(u) ∪ N̄(v)|`
+    /// (unweighted graphs only, as in the paper).
+    Jaccard,
+    /// Dice similarity `2|N̄(u) ∩ N̄(v)| / (|N̄(u)| + |N̄(v)|)`
+    /// (unweighted graphs only; mentioned in §3.1's survey of variants).
+    Dice,
+}
+
+impl SimilarityMeasure {
+    /// `true` if the measure is defined for weighted graphs.
+    pub fn supports_weights(self) -> bool {
+        matches!(self, SimilarityMeasure::Cosine)
+    }
+
+    /// Score an *unweighted* edge from `common` = `|N(u) ∩ N(v)|` (open
+    /// neighborhoods) and the endpoint degrees.
+    #[inline]
+    pub fn score_unweighted(self, common: u64, deg_u: usize, deg_v: usize) -> f64 {
+        let closed_common = common as f64 + 2.0;
+        let (cu, cv) = (deg_u as f64 + 1.0, deg_v as f64 + 1.0);
+        match self {
+            SimilarityMeasure::Cosine => closed_common / (cu * cv).sqrt(),
+            SimilarityMeasure::Jaccard => closed_common / (cu + cv - closed_common),
+            SimilarityMeasure::Dice => 2.0 * closed_common / (cu + cv),
+        }
+    }
+
+    /// [`Self::score_unweighted`] with a *fractional* open-common estimate
+    /// (used by sampling-based approximations, where the intersection size
+    /// is an inverse-probability-scaled estimate rather than a count).
+    /// The result is clamped to `[0, 1]` since estimates can overshoot.
+    #[inline]
+    pub fn score_unweighted_estimate(self, common: f64, deg_u: usize, deg_v: usize) -> f64 {
+        let closed_common = common.max(0.0) + 2.0;
+        let (cu, cv) = (deg_u as f64 + 1.0, deg_v as f64 + 1.0);
+        let raw = match self {
+            SimilarityMeasure::Cosine => closed_common / (cu * cv).sqrt(),
+            SimilarityMeasure::Jaccard => closed_common / (cu + cv - closed_common).max(1.0),
+            SimilarityMeasure::Dice => 2.0 * closed_common / (cu + cv),
+        };
+        raw.clamp(0.0, 1.0)
+    }
+
+    /// Score a *weighted* edge (cosine only) from the open-intersection
+    /// weight product sum, the edge weight `w(u, v)`, and the closed
+    /// squared norms `1 + Σ_{x∈N(·)} w(·, x)²`.
+    #[inline]
+    pub fn score_weighted(
+        self,
+        open_dot: f64,
+        edge_weight: f64,
+        norm_sq_u: f64,
+        norm_sq_v: f64,
+    ) -> f64 {
+        debug_assert!(self.supports_weights());
+        // x = u contributes w(u,u)·w(v,u) = w(u,v); x = v symmetrically.
+        let closed_dot = open_dot + 2.0 * edge_weight;
+        closed_dot / (norm_sq_u * norm_sq_v).sqrt()
+    }
+
+    /// Human-readable name used by the benchmark harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimilarityMeasure::Cosine => "cosine",
+            SimilarityMeasure::Jaccard => "jaccard",
+            SimilarityMeasure::Dice => "dice",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_matches_paper_examples() {
+        // Paper §3.1: σ(5, 6) with N̄(5) = {4,5,6}, N̄(6) = {5,6,7,8}:
+        // 2/√12 ≈ .58. Open common = 0, degrees 2 and 3.
+        let s = SimilarityMeasure::Cosine.score_unweighted(0, 2, 3);
+        assert!((s - 2.0 / 12.0f64.sqrt()).abs() < 1e-12);
+
+        // σ(2, 4) (paper ids): N̄(2) = {1,2,3,4}, N̄(4) = {1,2,3,4,5}:
+        // 4/√20 ≈ .89. Open common = |{1,3}| = 2, degrees 3 and 4.
+        let s = SimilarityMeasure::Cosine.score_unweighted(2, 3, 4);
+        assert!((s - 4.0 / 20.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_and_dice_bounds() {
+        for &(common, du, dv) in &[(0u64, 1usize, 1usize), (3, 5, 4), (0, 100, 1)] {
+            for m in [SimilarityMeasure::Jaccard, SimilarityMeasure::Dice] {
+                let s = m.score_unweighted(common, du, dv);
+                assert!(s > 0.0 && s <= 1.0, "{m:?} gave {s}");
+            }
+        }
+        // Identical closed neighborhoods (two adjacent degree-1 vertices).
+        assert!((SimilarityMeasure::Jaccard.score_unweighted(0, 1, 1) - 1.0).abs() < 1e-12);
+        assert!((SimilarityMeasure::Dice.score_unweighted(0, 1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_cosine_reduces_to_unweighted() {
+        // With all weights 1: open_dot = common, norms = deg + 1.
+        let (common, du, dv) = (3u64, 5usize, 7usize);
+        let w = SimilarityMeasure::Cosine.score_weighted(
+            common as f64,
+            1.0,
+            du as f64 + 1.0,
+            dv as f64 + 1.0,
+        );
+        let u = SimilarityMeasure::Cosine.score_unweighted(common, du, dv);
+        assert!((w - u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_support_flags() {
+        assert!(SimilarityMeasure::Cosine.supports_weights());
+        assert!(!SimilarityMeasure::Jaccard.supports_weights());
+        assert!(!SimilarityMeasure::Dice.supports_weights());
+    }
+}

@@ -1,0 +1,20 @@
+//! Dense-graph similarity computation via matrix multiplication — the
+//! `GBBSIndexSCAN-MM` variant of the paper (§4.1.1, §6.1, Figure 5).
+//!
+//! Let `W` be the `n×n` weight matrix with `W[v][v] = 1` (the closed
+//! neighborhood convention) and `W[u][v] = w(u, v)` for edges. Then
+//! `(W²)[u][v] = Σ_x W[u][x]·W[x][v]` is exactly the closed-neighborhood
+//! dot product, i.e. the numerator of the (weighted) cosine similarity, so
+//! similarity computation reduces to one matmul. The paper uses Intel
+//! MKL's `cblas_sgemm`; we substitute a blocked, parallel matmul written
+//! here (DESIGN.md §3) — same code path, portable kernel.
+//!
+//! As in the paper, this pays `O(n²)` memory, so it is only offered for
+//! graphs whose adjacency matrix fits comfortably in RAM (the two dense
+//! weighted HumanBase stand-ins in the benchmark harness).
+
+pub mod matrix;
+pub mod similarity_mm;
+
+pub use matrix::Matrix;
+pub use similarity_mm::compute_similarities_mm;

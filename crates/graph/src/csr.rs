@@ -1,0 +1,370 @@
+//! Compressed-sparse-row storage for simple undirected graphs.
+//!
+//! Every undirected edge `{u, v}` occupies two *slots*: one in `u`'s
+//! neighbor list and one in `v`'s. Neighbor lists are sorted by vertex id,
+//! which the merge-based similarity computation (§6.1 of the paper)
+//! requires and which makes the twin slot of an edge findable by binary
+//! search. Per-edge quantities (similarities) are stored in slot-indexed
+//! arrays of length `2m`.
+
+use parscan_parallel::primitives::par_for;
+
+/// Vertex identifier. `u32` halves the memory traffic of `usize` indices
+/// (a Type-Sizes guideline) and covers every graph this repo targets.
+pub type VertexId = u32;
+
+/// An undirected simple graph in CSR form, optionally edge-weighted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` is `v`'s slot range. Length `n + 1`.
+    offsets: Vec<usize>,
+    /// Flattened neighbor lists, sorted by id within each vertex. Length `2m`.
+    neighbors: Vec<VertexId>,
+    /// Per-slot weights aligned with `neighbors` (`None` for unweighted).
+    weights: Option<Vec<f32>>,
+}
+
+impl CsrGraph {
+    /// Assemble a graph from raw CSR parts, validating all invariants.
+    ///
+    /// # Panics
+    /// Panics when the parts do not describe a simple, symmetric,
+    /// sorted-CSR undirected graph.
+    pub fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        match Self::try_from_parts(offsets, neighbors, weights) {
+            Ok(g) => g,
+            Err(e) => panic!("invalid CSR graph: {e}"),
+        }
+    }
+
+    /// Assemble a graph from raw CSR parts, returning the validation error
+    /// instead of panicking (used when the parts come from untrusted input,
+    /// e.g. deserialization).
+    pub fn try_from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Result<Self, String> {
+        let g = CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Assemble without validation — for internal builders whose output is
+    /// correct by construction (they run `debug_assert!` validation).
+    pub(crate) fn from_parts_unchecked(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Self {
+        let g = CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+        };
+        debug_assert_eq!(g.validate(), Ok(()));
+        g
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of directed slots (`2m`).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Degree of `v` (open neighborhood size `|N(v)|`).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Slot range of `v` in the flat arrays.
+    #[inline]
+    pub fn slot_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Neighbors of `v`, sorted ascending by id.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.slot_range(v)]
+    }
+
+    /// Per-slot weights of `v`'s edges (aligned with [`Self::neighbors`]).
+    /// Returns `None` for unweighted graphs.
+    #[inline]
+    pub fn weights_of(&self, v: VertexId) -> Option<&[f32]> {
+        self.weights.as_ref().map(|w| &w[self.slot_range(v)])
+    }
+
+    /// The neighbor stored in `slot`.
+    #[inline]
+    pub fn slot_neighbor(&self, slot: usize) -> VertexId {
+        self.neighbors[slot]
+    }
+
+    /// Weight of `slot` (1.0 for unweighted graphs, the paper's convention).
+    #[inline]
+    pub fn slot_weight(&self, slot: usize) -> f32 {
+        match &self.weights {
+            Some(w) => w[slot],
+            None => 1.0,
+        }
+    }
+
+    /// Slot of edge `(u, v)` within `u`'s list, if the edge exists.
+    pub fn slot_of(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let range = self.slot_range(u);
+        let list = &self.neighbors[range.clone()];
+        list.binary_search(&v).ok().map(|i| range.start + i)
+    }
+
+    /// The endpoint vertex that owns `slot` (i.e. `u` such that `slot` is
+    /// in `u`'s range). `O(log n)`.
+    pub fn slot_owner(&self, slot: usize) -> VertexId {
+        debug_assert!(slot < self.num_slots());
+        // partition_point returns the first v with offsets[v] > slot; the
+        // owner is that minus one.
+        (self.offsets.partition_point(|&o| o <= slot) - 1) as VertexId
+    }
+
+    /// Maximum degree over all vertices (0 for empty graphs).
+    pub fn max_degree(&self) -> usize {
+        parscan_parallel::primitives::max_u64(self.num_vertices(), 0, |v| {
+            self.degree(v as VertexId) as u64
+        }) as usize
+    }
+
+    /// Sum of `w(v, x)^2` over `x ∈ N(v)` plus the implicit `w(v,v) = 1`
+    /// self term — the squared denominator norm of §4.1.1.
+    pub fn closed_norm_sq(&self, v: VertexId) -> f64 {
+        let base = 1.0f64; // w(v, v) = 1
+        match self.weights_of(v) {
+            Some(ws) => base + ws.iter().map(|&w| (w as f64) * (w as f64)).sum::<f64>(),
+            None => base + self.degree(v) as f64,
+        }
+    }
+
+    /// Iterate all canonical edges `(u, v, slot_in_u)` with `u < v`.
+    pub fn canonical_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, usize)> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            let range = self.slot_range(u);
+            self.neighbors[range.clone()]
+                .iter()
+                .enumerate()
+                .filter(move |(_, &v)| u < v)
+                .map(move |(i, &v)| (u, v, range.start + i))
+        })
+    }
+
+    /// Check all structural invariants; returns a description on failure.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must have length n + 1 >= 1".into());
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offsets must start at 0 and end at slot count".into());
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.neighbors.len() {
+                return Err("weights length must match neighbors".into());
+            }
+        }
+        let n = self.num_vertices();
+        for v in 0..n as VertexId {
+            let range = self.slot_range(v);
+            if range.start > range.end {
+                return Err(format!("offsets not monotone at vertex {v}"));
+            }
+            let list = &self.neighbors[range];
+            for (i, &x) in list.iter().enumerate() {
+                if x as usize >= n {
+                    return Err(format!("neighbor {x} of {v} out of range"));
+                }
+                if x == v {
+                    return Err(format!("self-loop at vertex {v}"));
+                }
+                if i > 0 && list[i - 1] >= x {
+                    return Err(format!("neighbors of {v} not strictly sorted"));
+                }
+            }
+        }
+        // Symmetry (and weight symmetry).
+        for v in 0..n as VertexId {
+            let range = self.slot_range(v);
+            for s in range {
+                let x = self.neighbors[s];
+                match self.slot_of(x, v) {
+                    None => return Err(format!("edge ({v},{x}) missing twin")),
+                    Some(t) => {
+                        if let Some(w) = &self.weights {
+                            if (w[s] - w[t]).abs() > 1e-6 {
+                                return Err(format!("asymmetric weight on ({v},{x})"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.neighbors.len() % 2 != 0 {
+            return Err("odd number of slots".into());
+        }
+        Ok(())
+    }
+
+    /// Total weight `W = Σ_e w(e)` (equals `m` for unweighted graphs).
+    pub fn total_edge_weight(&self) -> f64 {
+        match &self.weights {
+            None => self.num_edges() as f64,
+            Some(w) => {
+                let sum = parscan_parallel::primitives::reduce(
+                    w.len(),
+                    1 << 14,
+                    0.0f64,
+                    |i| w[i] as f64,
+                    |a, b| a + b,
+                );
+                sum / 2.0
+            }
+        }
+    }
+
+    /// Degrees of all vertices, computed in parallel.
+    pub fn degrees(&self) -> Vec<u32> {
+        parscan_parallel::primitives::par_map(self.num_vertices(), 4096, |v| {
+            self.degree(v as VertexId) as u32
+        })
+    }
+
+    /// A copy of this graph with weights dropped.
+    pub fn unweighted_copy(&self) -> CsrGraph {
+        CsrGraph {
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            weights: None,
+        }
+    }
+
+    /// Raw parts accessor (offsets, neighbors, weights).
+    pub fn parts(&self) -> (&[usize], &[VertexId], Option<&[f32]>) {
+        (&self.offsets, &self.neighbors, self.weights.as_deref())
+    }
+}
+
+/// Convenience: run `f(v)` for every vertex in parallel.
+pub fn par_for_vertices<F>(g: &CsrGraph, f: F)
+where
+    F: Fn(VertexId) + Sync,
+{
+    par_for(g.num_vertices(), 256, |v| f(v as VertexId));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        // 0-1, 1-2, 0-2
+        CsrGraph::from_parts(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1], None)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.is_weighted());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn slot_lookup() {
+        let g = triangle();
+        assert_eq!(g.slot_of(0, 1), Some(0));
+        assert_eq!(g.slot_of(2, 0), Some(4));
+        assert_eq!(g.slot_of(0, 0), None);
+        assert_eq!(g.slot_owner(0), 0);
+        assert_eq!(g.slot_owner(3), 1);
+        assert_eq!(g.slot_owner(5), 2);
+    }
+
+    #[test]
+    fn canonical_edges_enumerates_each_once() {
+        let g = triangle();
+        let edges: Vec<(u32, u32)> = g.canonical_edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn closed_norms() {
+        let g = triangle();
+        assert_eq!(g.closed_norm_sq(0), 3.0); // 1 + deg
+        let w = CsrGraph::from_parts(
+            vec![0, 1, 2],
+            vec![1, 0],
+            Some(vec![0.5, 0.5]),
+        );
+        assert!((w.closed_norm_sq(0) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR graph")]
+    fn rejects_self_loop() {
+        CsrGraph::from_parts(vec![0, 1, 2], vec![0, 0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR graph")]
+    fn rejects_asymmetric() {
+        CsrGraph::from_parts(vec![0, 1, 1], vec![1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CSR graph")]
+    fn rejects_unsorted_neighbors() {
+        CsrGraph::from_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0], None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_parts(vec![0], vec![], None);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = CsrGraph::from_parts(vec![0, 0, 1, 2, 2, 2], vec![2, 1], None);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Degree-ordered orientation of an undirected graph.
+//!
+//! The merge-based similarity computation (§6.1 of the paper, after Shun &
+//! Tangwongsan) directs each edge toward its higher-degree endpoint (ties
+//! by id). Each triangle `{u, v, x}` then appears exactly once as a pair of
+//! out-edges `(u→v, u→x)` with `v→x` also directed, which lets the
+//! algorithm count every triangle once while bounding per-vertex
+//! out-degrees by `O(√m)`.
+
+use crate::csr::{CsrGraph, VertexId};
+use parscan_parallel::prefix::exclusive_scan_usize;
+use parscan_parallel::primitives::{par_for, par_map};
+use parscan_parallel::utils::SyncMutPtr;
+
+/// Orientation of a graph with edges pointing at the higher-(degree, id)
+/// endpoint. Out-neighbor lists remain sorted by vertex id.
+pub struct DegreeOrderedDag {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl DegreeOrderedDag {
+    /// `true` iff the edge `u → v` is kept by the orientation.
+    #[inline]
+    pub fn directs(g: &CsrGraph, u: VertexId, v: VertexId) -> bool {
+        let (du, dv) = (g.degree(u), g.degree(v));
+        du < dv || (du == dv && u < v)
+    }
+
+    /// Build the orientation in parallel.
+    pub fn build(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let counts: Vec<usize> = par_map(n, 512, |u| {
+            let u = u as VertexId;
+            g.neighbors(u)
+                .iter()
+                .filter(|&&v| Self::directs(g, u, v))
+                .count()
+        });
+        let (offsets_base, total) = exclusive_scan_usize(&counts);
+        let mut offsets = offsets_base;
+        offsets.push(total);
+
+        let mut neighbors = vec![0 as VertexId; total];
+        let ptr = SyncMutPtr::new(&mut neighbors);
+        par_for(n, 256, |u| {
+            let uv = u as VertexId;
+            let mut pos = offsets[u];
+            for &v in g.neighbors(uv) {
+                if Self::directs(g, uv, v) {
+                    // SAFETY: each vertex writes its own disjoint range.
+                    unsafe { ptr.write(pos, v) };
+                    pos += 1;
+                }
+            }
+        });
+        DegreeOrderedDag { offsets, neighbors }
+    }
+
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed edges (equals the undirected edge count `m`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Flat directed-edge index range owned by `v`.
+    #[inline]
+    pub fn out_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Target of the directed edge with flat index `e`.
+    #[inline]
+    pub fn edge_target(&self, e: usize) -> VertexId {
+        self.neighbors[e]
+    }
+
+    /// Source vertices of all flat directed edges, computed in parallel.
+    pub fn edge_owners(&self) -> Vec<VertexId> {
+        let mut owners = vec![0 as VertexId; self.num_edges()];
+        let ptr = SyncMutPtr::new(&mut owners);
+        par_for(self.num_vertices(), 256, |u| {
+            for e in self.out_range(u as VertexId) {
+                // SAFETY: per-vertex ranges are disjoint.
+                unsafe { ptr.write(e, u as VertexId) };
+            }
+        });
+        owners
+    }
+
+    /// Out-neighbors of `v`, sorted ascending by id.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterate `(u, v)` over all directed edges.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators;
+
+    #[test]
+    fn every_undirected_edge_directed_once() {
+        let g = generators::erdos_renyi(500, 3000, 11);
+        let dag = DegreeOrderedDag::build(&g);
+        assert_eq!(dag.num_edges(), g.num_edges());
+        for (u, v) in dag.edges() {
+            assert!(DegreeOrderedDag::directs(&g, u, v));
+            assert!(g.slot_of(u, v).is_some());
+        }
+    }
+
+    #[test]
+    fn out_lists_sorted() {
+        let g = generators::rmat(10, 8, 5);
+        let dag = DegreeOrderedDag::build(&g);
+        for v in 0..g.num_vertices() as VertexId {
+            let outs = dag.out_neighbors(v);
+            assert!(outs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn star_directs_leaves_to_center() {
+        let g = generators::star(10);
+        let dag = DegreeOrderedDag::build(&g);
+        assert_eq!(dag.out_degree(0), 0);
+        for leaf in 1..10u32 {
+            assert_eq!(dag.out_neighbors(leaf), &[0]);
+        }
+    }
+
+    #[test]
+    fn degree_ties_break_by_id() {
+        let g = from_edges(2, &[(0, 1)]);
+        let dag = DegreeOrderedDag::build(&g);
+        assert_eq!(dag.out_neighbors(0), &[1]);
+        assert_eq!(dag.out_degree(1), 0);
+    }
+
+    #[test]
+    fn triangle_count_via_dag_orientation() {
+        // Each triangle appears once as u with two directed out-edges whose
+        // endpoints are themselves adjacent in the DAG.
+        let g = generators::complete(6); // C(6,3) = 20 triangles
+        let dag = DegreeOrderedDag::build(&g);
+        let mut triangles = 0;
+        for u in 0..6u32 {
+            let outs = dag.out_neighbors(u);
+            for (i, &v) in outs.iter().enumerate() {
+                for &x in &outs[i + 1..] {
+                    if dag.out_neighbors(v).contains(&x) || dag.out_neighbors(x).contains(&v) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangles, 20);
+    }
+}

@@ -1,0 +1,339 @@
+//! In-place-style batch patching of a CSR graph: splice a small set of
+//! edge insertions/deletions into an existing graph *without* re-sorting
+//! all `2m` directed entries. Untouched adjacency lists are copied
+//! wholesale; touched lists are rebuilt by a linear three-way merge of
+//! (old list, sorted insertions, sorted deletions).
+//!
+//! This is the graph-side half of the dynamic-index extension
+//! (`parscan_core::dynamic`): rebuilding the CSR from an edge list costs a
+//! full parallel radix sort, which dominates small-batch updates; patching
+//! costs `O(n + m)` copying plus `O(Δ log Δ)` for the batch itself.
+//!
+//! Semantics (matching `BatchUpdate`): self-loops are ignored; deleting an
+//! absent edge is a no-op; inserting an existing edge *replaces its
+//! weight*; if the same edge is both deleted and inserted in one batch,
+//! the insertion wins; duplicate insertions keep the first occurrence.
+
+use crate::csr::{CsrGraph, VertexId};
+use parscan_parallel::prefix::exclusive_scan_usize;
+use parscan_parallel::primitives::{par_for, par_map};
+use parscan_parallel::utils::SyncMutPtr;
+
+/// Per-vertex view of the batch: directed delta entries, owner-major.
+struct Deltas {
+    /// `(owner, neighbor, weight)`, sorted by (owner, neighbor), deduped
+    /// (first occurrence wins).
+    ins: Vec<(VertexId, VertexId, f32)>,
+    /// `(owner, neighbor)`, sorted, deduped, with pairs overridden by an
+    /// insertion already removed.
+    del: Vec<(VertexId, VertexId)>,
+}
+
+impl Deltas {
+    fn build(insertions: &[(VertexId, VertexId, f32)], deletions: &[(VertexId, VertexId)]) -> Self {
+        let mut ins: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(2 * insertions.len());
+        for &(u, v, w) in insertions {
+            if u != v {
+                ins.push((u, v, w));
+                ins.push((v, u, w));
+            }
+        }
+        ins.sort_by_key(|&(a, b, _)| ((a as u64) << 32) | b as u64);
+        ins.dedup_by_key(|&mut (a, b, _)| (a, b));
+
+        let mut del: Vec<(VertexId, VertexId)> = Vec::with_capacity(2 * deletions.len());
+        for &(u, v) in deletions {
+            if u != v {
+                del.push((u, v));
+                del.push((v, u));
+            }
+        }
+        del.sort_unstable();
+        del.dedup();
+        // Insertion wins over deletion of the same pair.
+        del.retain(|&(a, b)| {
+            ins.binary_search_by_key(&((a as u64) << 32 | b as u64), |&(x, y, _)| {
+                (x as u64) << 32 | y as u64
+            })
+            .is_err()
+        });
+        Deltas { ins, del }
+    }
+
+    fn ins_range(&self, v: VertexId) -> &[(VertexId, VertexId, f32)] {
+        let lo = self.ins.partition_point(|&(a, _, _)| a < v);
+        let hi = self.ins.partition_point(|&(a, _, _)| a <= v);
+        &self.ins[lo..hi]
+    }
+
+    fn del_range(&self, v: VertexId) -> &[(VertexId, VertexId)] {
+        let lo = self.del.partition_point(|&(a, _)| a < v);
+        let hi = self.del.partition_point(|&(a, _)| a <= v);
+        &self.del[lo..hi]
+    }
+
+    fn touches(&self, v: VertexId) -> bool {
+        !self.ins_range(v).is_empty() || !self.del_range(v).is_empty()
+    }
+}
+
+/// Walk one vertex's patched adjacency, invoking `emit(neighbor, weight)`
+/// in ascending-neighbor order. Linear in `deg + Δ_v`.
+fn merge_vertex<F: FnMut(VertexId, f32)>(
+    g: &CsrGraph,
+    v: VertexId,
+    ins: &[(VertexId, VertexId, f32)],
+    del: &[(VertexId, VertexId)],
+    mut emit: F,
+) {
+    let range = g.slot_range(v);
+    let mut i = range.start;
+    let mut j = 0usize;
+    let mut k = 0usize;
+    loop {
+        let old_nbr = (i < range.end).then(|| g.slot_neighbor(i));
+        let ins_nbr = ins.get(j).map(|&(_, b, _)| b);
+        // Which side advances: the smaller neighbor id; ties mean the
+        // insertion replaces the existing edge's weight.
+        let take_old = match (old_nbr, ins_nbr) {
+            (Some(x), Some(y)) if x == y => {
+                emit(y, ins[j].2);
+                i += 1;
+                j += 1;
+                continue;
+            }
+            (Some(x), Some(y)) => x < y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_old {
+            let x = old_nbr.expect("old side present");
+            while k < del.len() && del[k].1 < x {
+                k += 1;
+            }
+            if k < del.len() && del[k].1 == x {
+                k += 1; // deleted
+            } else {
+                emit(x, g.slot_weight(i));
+            }
+            i += 1;
+        } else {
+            emit(ins_nbr.expect("insert side present"), ins[j].2);
+            j += 1;
+        }
+    }
+}
+
+/// Apply a batch of edge updates to `g`, returning the patched graph.
+///
+/// # Panics
+/// Panics if any endpoint is out of range.
+pub fn patch(
+    g: &CsrGraph,
+    insertions: &[(VertexId, VertexId, f32)],
+    deletions: &[(VertexId, VertexId)],
+) -> CsrGraph {
+    let n = g.num_vertices();
+    assert!(
+        insertions
+            .iter()
+            .all(|&(u, v, _)| (u as usize) < n && (v as usize) < n),
+        "insertion endpoint out of range"
+    );
+    assert!(
+        deletions
+            .iter()
+            .all(|&(u, v)| (u as usize) < n && (v as usize) < n),
+        "deletion endpoint out of range"
+    );
+    let deltas = Deltas::build(insertions, deletions);
+
+    // New degrees: untouched vertices keep theirs; touched ones count via
+    // the merge.
+    let degrees: Vec<usize> = par_map(n, 512, |v| {
+        let vv = v as VertexId;
+        if !deltas.touches(vv) {
+            return g.degree(vv);
+        }
+        let mut count = 0usize;
+        merge_vertex(g, vv, deltas.ins_range(vv), deltas.del_range(vv), |_, _| {
+            count += 1
+        });
+        count
+    });
+    let (offsets, total) = exclusive_scan_usize(&degrees);
+    let mut offsets = offsets;
+    offsets.push(total);
+
+    let weighted = g.is_weighted();
+    let mut neighbors = vec![0 as VertexId; total];
+    let mut weights = weighted.then(|| vec![0f32; total]);
+    {
+        let nbr_ptr = SyncMutPtr::new(&mut neighbors);
+        let w_ptr = weights.as_mut().map(|w| SyncMutPtr::new(w));
+        par_for(n, 256, |v| {
+            let vv = v as VertexId;
+            let mut pos = offsets[v];
+            if !deltas.touches(vv) {
+                // Wholesale copy of the untouched list.
+                for s in g.slot_range(vv) {
+                    // SAFETY: per-vertex output ranges are disjoint.
+                    unsafe {
+                        nbr_ptr.write(pos, g.slot_neighbor(s));
+                        if let Some(w) = &w_ptr {
+                            w.write(pos, g.slot_weight(s));
+                        }
+                    }
+                    pos += 1;
+                }
+            } else {
+                merge_vertex(g, vv, deltas.ins_range(vv), deltas.del_range(vv), |x, w| {
+                    // SAFETY: per-vertex output ranges are disjoint.
+                    unsafe {
+                        nbr_ptr.write(pos, x);
+                        if let Some(wp) = &w_ptr {
+                            wp.write(pos, w);
+                        }
+                    }
+                    pos += 1;
+                });
+            }
+            debug_assert_eq!(pos, offsets[v + 1]);
+        });
+    }
+    let patched = CsrGraph::try_from_parts(offsets, neighbors, weights)
+        .expect("patch preserves CSR invariants");
+    patched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{from_edges, from_weighted_edges};
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    /// Oracle: apply the batch to an edge map and rebuild from scratch.
+    fn oracle(
+        g: &CsrGraph,
+        insertions: &[(u32, u32, f32)],
+        deletions: &[(u32, u32)],
+    ) -> CsrGraph {
+        let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+        let mut edges: BTreeMap<(u32, u32), f32> = g
+            .canonical_edges()
+            .map(|(u, v, s)| ((u, v), g.slot_weight(s)))
+            .collect();
+        for &(u, v) in deletions {
+            if u != v {
+                edges.remove(&canon(u, v));
+            }
+        }
+        // First occurrence wins for duplicate insertions; insertion
+        // overrides same-batch deletion (applied after removals).
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v, w) in insertions {
+            if u != v && seen.insert(canon(u, v)) {
+                edges.insert(canon(u, v), w);
+            }
+        }
+        let list: Vec<(u32, u32, f32)> =
+            edges.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        if g.is_weighted() {
+            from_weighted_edges(g.num_vertices(), &list)
+        } else {
+            let plain: Vec<(u32, u32)> = list.iter().map(|&(u, v, _)| (u, v)).collect();
+            from_edges(g.num_vertices(), &plain)
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_batches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..15 {
+            let n = rng.gen_range(5..120usize);
+            let g = generators::erdos_renyi(n.max(2), 3 * n, rng.gen());
+            let ins: Vec<(u32, u32, f32)> = (0..rng.gen_range(0..30))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(0..n as u32),
+                        1.0,
+                    )
+                })
+                .collect();
+            let del: Vec<(u32, u32)> = g
+                .canonical_edges()
+                .map(|(u, v, _)| (u, v))
+                .step_by(3)
+                .take(rng.gen_range(0..20))
+                .collect();
+            let got = patch(&g, &ins, &del);
+            let want = oracle(&g, &ins, &del);
+            assert_eq!(got, want);
+            assert_eq!(got.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn matches_oracle_weighted() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = generators::weighted_planted_partition(80, 2, 6.0, 1.0, 4);
+        for _ in 0..10 {
+            let ins: Vec<(u32, u32, f32)> = (0..10)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..80u32),
+                        rng.gen_range(0..80u32),
+                        rng.gen_range(0.1..1.0f32),
+                    )
+                })
+                .collect();
+            let del: Vec<(u32, u32)> = g
+                .canonical_edges()
+                .map(|(u, v, _)| (u, v))
+                .take(5)
+                .collect();
+            let got = patch(&g, &ins, &del);
+            let want = oracle(&g, &ins, &del);
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn insert_existing_edge_replaces_weight() {
+        let g = from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.7)]);
+        let h = patch(&g, &[(1, 0, 0.9)], &[]);
+        assert_eq!(h.num_edges(), 2);
+        let s = h.slot_of(0, 1).unwrap();
+        assert_eq!(h.slot_weight(s), 0.9);
+    }
+
+    #[test]
+    fn delete_then_insert_same_edge_keeps_it() {
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let h = patch(&g, &[(0, 1, 1.0)], &[(0, 1)]);
+        assert!(h.slot_of(0, 1).is_some());
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn noop_batch_is_identity() {
+        let g = generators::rmat(7, 6, 3);
+        let h = patch(&g, &[], &[]);
+        assert_eq!(g, h);
+        // Deleting absent edges and inserting self-loops are no-ops too.
+        let h = patch(&g, &[(5, 5, 1.0)], &[(0, 0)]);
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoints() {
+        let g = from_edges(3, &[(0, 1)]);
+        patch(&g, &[(0, 7, 1.0)], &[]);
+    }
+}

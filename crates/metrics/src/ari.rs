@@ -1,0 +1,116 @@
+//! Adjusted Rand index (Hubert–Arabie, §7.2): pair-counting agreement
+//! between two labelings, adjusted for chance. Computed from the
+//! contingency table in `O(n)` space via hash maps; the arithmetic follows
+//! the formula quoted in the paper verbatim.
+
+use std::collections::HashMap;
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x.saturating_sub(1) as f64) / 2.0
+}
+
+/// ARI between two labelings of the same vertex set. Labels are arbitrary
+/// `u32`s (each distinct value is a cluster — callers clustering with SCAN
+/// should first convert unclustered vertices to singletons).
+///
+/// Returns 1.0 for identical partitions (including the degenerate
+/// all-one-cluster case, where the adjustment denominator vanishes).
+pub fn adjusted_rand_index(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same vertices");
+    let n = a.len() as u64;
+    if n <= 1 {
+        // No vertex pairs exist: the partitions agree vacuously (guards
+        // the C(n,2) = 0 denominator).
+        return 1.0;
+    }
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut ma: HashMap<u32, u64> = HashMap::new();
+    let mut mb: HashMap<u32, u64> = HashMap::new();
+    for i in 0..a.len() {
+        *joint.entry((a[i], b[i])).or_default() += 1;
+        *ma.entry(a[i]).or_default() += 1;
+        *mb.entry(b[i]).or_default() += 1;
+    }
+    let sum_ij: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_a: f64 = ma.values().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = mb.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions trivial (all-singletons vs all-singletons, or
+        // all-one-cluster): identical ⇒ 1, by convention.
+        return if sum_ij == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0u32, 0, 1, 1, 2, 2, 2];
+        assert!((adjusted_rand_index(&labels, &labels) - 1.0).abs() < 1e-12);
+        // Renaming clusters does not matter.
+        let renamed = vec![5u32, 5, 9, 9, 1, 1, 1];
+        assert!((adjusted_rand_index(&labels, &renamed) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Classic example: X = [1,1,1,2,2,2], Y = [1,1,2,2,3,3].
+        let x = vec![1u32, 1, 1, 2, 2, 2];
+        let y = vec![1u32, 1, 2, 2, 3, 3];
+        // Contingency: n11=2, n12=1, n22=1, n23=2 → Σnij C2 = 1 + 0 + 0 + 1 = 2
+        // Σa = 3+3 → 3+3=6; Σb = 1+1+... (2,2,2): 1+1+1 = 3; total C(6,2)=15.
+        let expected = 6.0 * 3.0 / 15.0; // 1.2
+        let want = (2.0 - expected) / ((6.0 + 3.0) / 2.0 - expected);
+        assert!((adjusted_rand_index(&x, &y) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Deterministic pseudo-random labels: ARI concentrates near 0.
+        let n = 20_000;
+        let a: Vec<u32> = (0..n)
+            .map(|i| (parscan_parallel::utils::hash64(i as u64) % 8) as u32)
+            .collect();
+        let b: Vec<u32> = (0..n)
+            .map(|i| (parscan_parallel::utils::hash64(i as u64 ^ 0xbeef) % 8) as u32)
+            .collect();
+        let ari = adjusted_rand_index(&a, &b);
+        assert!(ari.abs() < 0.02, "got {ari}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        let b = vec![0u32, 1, 1, 2, 2, 2];
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        // One vertex: no pairs, vacuous agreement (C(1,2) = 0 denominator).
+        assert_eq!(adjusted_rand_index(&[3], &[9]), 1.0);
+        let ones = vec![0u32; 10];
+        assert_eq!(adjusted_rand_index(&ones, &ones), 1.0);
+        let singles: Vec<u32> = (0..10).collect();
+        assert_eq!(adjusted_rand_index(&singles, &singles), 1.0);
+        // All-one-cluster vs all-singletons: maximally non-informative.
+        assert_eq!(adjusted_rand_index(&ones, &singles), 0.0);
+    }
+
+    #[test]
+    fn worse_than_chance_is_negative() {
+        // Perfectly crossed partitions.
+        let a = vec![0u32, 0, 1, 1];
+        let b = vec![0u32, 1, 0, 1];
+        assert!(adjusted_rand_index(&a, &b) < 0.0);
+    }
+}

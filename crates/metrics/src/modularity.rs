@@ -1,0 +1,137 @@
+//! Modularity (Newman–Girvan, §7.2): the fraction of edge weight inside
+//! clusters minus the expectation under a degree-preserving random graph:
+//!
+//! `Q = Σ_c (W_in(c)/W  −  (S(c)/2W)²)`
+//!
+//! where `W` is total edge weight, `W_in(c)` the weight inside cluster `c`,
+//! and `S(c)` the total (weighted) degree of `c`'s members. This is the
+//! standard `O(m)` form of the `1/2m Σ_{uv} (A_uv − d_u d_v / 2m) δ_uv`
+//! definition the paper quotes, extended to weighted graphs per Newman.
+
+use parscan_graph::{CsrGraph, VertexId};
+use std::collections::HashMap;
+
+/// Modularity of a labeling. Every vertex must carry a label; to match
+/// the paper's treatment of SCAN output, pass
+/// `Clustering::labels_with_singletons()` so each unclustered vertex forms
+/// its own cluster. Returns 0 for edgeless graphs.
+pub fn modularity(g: &CsrGraph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), g.num_vertices());
+    let two_w: f64 = if g.is_weighted() {
+        2.0 * g.total_edge_weight()
+    } else {
+        2.0 * g.num_edges() as f64
+    };
+    if two_w == 0.0 {
+        return 0.0;
+    }
+
+    // Per-cluster totals: internal edge weight and degree sums.
+    let mut internal: HashMap<u32, f64> = HashMap::new();
+    let mut degree_sum: HashMap<u32, f64> = HashMap::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let lv = labels[v as usize];
+        let wdeg: f64 = match g.weights_of(v) {
+            Some(ws) => ws.iter().map(|&w| w as f64).sum(),
+            None => g.degree(v) as f64,
+        };
+        *degree_sum.entry(lv).or_default() += wdeg;
+    }
+    for (u, v, slot) in g.canonical_edges() {
+        if labels[u as usize] == labels[v as usize] {
+            *internal.entry(labels[u as usize]).or_default() += g.slot_weight(slot) as f64;
+        }
+    }
+
+    // Sum per-cluster terms in sorted label order: HashMap iteration order
+    // is randomized per instance, and float addition is not associative,
+    // so unsorted accumulation would make repeated calls differ in the
+    // last ulps — breaking "same inputs ⇒ same score" comparisons.
+    let mut per_cluster: Vec<(u32, f64)> = degree_sum.into_iter().collect();
+    per_cluster.sort_unstable_by_key(|&(label, _)| label);
+    let mut q = 0.0f64;
+    for (label, s) in per_cluster {
+        let w_in = internal.get(&label).copied().unwrap_or(0.0);
+        q += w_in / (two_w / 2.0) - (s / two_w) * (s / two_w);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parscan_graph::generators;
+
+    #[test]
+    fn two_cliques_high_modularity() {
+        // Two K4s joined by one edge; the natural split scores well.
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 4));
+        let g = parscan_graph::from_edges(8, &edges);
+        let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let q = modularity(&g, &labels);
+        assert!(q > 0.4, "got {q}");
+        // All-one-cluster scores zero.
+        assert!(modularity(&g, &vec![0; 8]).abs() < 1e-12);
+        // Singletons score negative.
+        let singles: Vec<u32> = (0..8).collect();
+        assert!(modularity(&g, &singles) < 0.0);
+    }
+
+    #[test]
+    fn known_value_two_triangles() {
+        // Two triangles joined by an edge, split naturally: m = 7,
+        // internal = 6, degree sums 7 and 7.
+        let g = parscan_graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let want = 6.0 / 7.0 - 2.0 * (7.0f64 / 14.0).powi(2);
+        assert!((modularity(&g, &labels) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_reduces_to_unweighted_at_unit_weights() {
+        let (g, labels) = generators::planted_partition(120, 3, 8.0, 1.0, 5);
+        let edges: Vec<(u32, u32, f32)> = g
+            .canonical_edges()
+            .map(|(u, v, _)| (u, v, 1.0))
+            .collect();
+        let gw = parscan_graph::from_weighted_edges(120, &edges);
+        let a = modularity(&g, &labels);
+        let b = modularity(&gw, &labels);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modularity_bounded_above_by_one() {
+        let (g, labels) = generators::planted_partition(300, 4, 10.0, 0.5, 9);
+        let q = modularity(&g, &labels);
+        assert!(q <= 1.0 && q > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_zero() {
+        let g = parscan_graph::from_edges(3, &[]);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn bit_for_bit_deterministic_across_calls() {
+        // Regression: cluster-term accumulation used HashMap iteration
+        // order, so repeated calls differed in the last ulps.
+        let (g, labels) = generators::planted_partition(500, 7, 9.0, 1.0, 3);
+        let first = modularity(&g, &labels);
+        for _ in 0..10 {
+            assert_eq!(modularity(&g, &labels).to_bits(), first.to_bits());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Normalized mutual information (NMI) between two labelings.
+//!
+//! The paper evaluates clustering quality with modularity and ARI (§7.2)
+//! and lists "compare SCAN to other parallel clustering algorithms in
+//! quality" as future work (§9); NMI is the third standard measure used
+//! throughout the community-detection literature for such comparisons, so
+//! the metrics crate ships it alongside the other two.
+//!
+//! `NMI(A, B) = I(A; B) / sqrt(H(A) · H(B))` where `I` is mutual
+//! information and `H` entropy of the cluster-size distributions, all in
+//! nats (the normalization cancels the base).
+
+use std::collections::HashMap;
+
+/// NMI between two labelings of the same vertex set. Labels are arbitrary
+/// `u32`s; each distinct value is a cluster. As with
+/// [`crate::adjusted_rand_index`], SCAN users should first convert
+/// unclustered vertices to singletons (see
+/// `Clustering::labels_with_singletons`).
+///
+/// Returns a value in `[0, 1]`; 1 for identical partitions. When either
+/// partition is a single cluster its entropy is 0 and the normalization is
+/// degenerate: by convention this returns 1 if the partitions are
+/// identical and 0 otherwise.
+pub fn normalized_mutual_information(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "labelings must cover the same vertices");
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut joint: HashMap<(u32, u32), u64> = HashMap::new();
+    let mut ma: HashMap<u32, u64> = HashMap::new();
+    let mut mb: HashMap<u32, u64> = HashMap::new();
+    for i in 0..n {
+        *joint.entry((a[i], b[i])).or_default() += 1;
+        *ma.entry(a[i]).or_default() += 1;
+        *mb.entry(b[i]).or_default() += 1;
+    }
+    // All float accumulations run in sorted key order: HashMap iteration
+    // order is randomized, and float addition is not associative, so
+    // unsorted sums would differ in the last ulps between calls.
+    let entropy = |m: &HashMap<u32, u64>| -> f64 {
+        let mut counts: Vec<u64> = m.values().copied().collect();
+        counts.sort_unstable();
+        counts
+            .into_iter()
+            .map(|c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&ma);
+    let hb = entropy(&mb);
+    if ha < 1e-12 || hb < 1e-12 {
+        // One side is a single cluster: MI is 0, normalization degenerate.
+        return if ma.len() == mb.len() && joint.len() == ma.len() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let mut cells: Vec<((u32, u32), u64)> = joint.into_iter().collect();
+    cells.sort_unstable_by_key(|&(k, _)| k);
+    let mut mi = 0.0;
+    for ((x, y), c) in cells {
+        let pxy = c as f64 / nf;
+        let px = ma[&x] as f64 / nf;
+        let py = mb[&y] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).ln();
+    }
+    // Floating-point noise can push the ratio epsilon past 1.
+    (mi / (ha * hb).sqrt()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0u32, 0, 1, 1, 2, 2, 2];
+        assert!((normalized_mutual_information(&labels, &labels) - 1.0).abs() < 1e-12);
+        let renamed = vec![7u32, 7, 3, 3, 0, 0, 0];
+        assert!((normalized_mutual_information(&labels, &renamed) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_hand_computed_value() {
+        // A = {0,1|2,3}, B = {0,1,2|3}: joint = {(a0,b0):2, (a1,b0):1, (a1,b1):1}.
+        let a = vec![0u32, 0, 1, 1];
+        let b = vec![0u32, 0, 0, 1];
+        let h = |ps: &[f64]| -> f64 { ps.iter().map(|p| -p * p.ln()).sum() };
+        let ha = h(&[0.5, 0.5]);
+        let hb = h(&[0.75, 0.25]);
+        let mi = 0.5 * (0.5f64 / (0.5 * 0.75)).ln()
+            + 0.25 * (0.25f64 / (0.5 * 0.75)).ln()
+            + 0.25 * (0.25f64 / (0.5 * 0.25)).ln();
+        let want = mi / (ha * hb).sqrt();
+        assert!((normalized_mutual_information(&a, &b) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_labelings_score_near_zero() {
+        let n = 20_000;
+        let a: Vec<u32> = (0..n)
+            .map(|i| (parscan_parallel::utils::hash64(i as u64) % 8) as u32)
+            .collect();
+        let b: Vec<u32> = (0..n)
+            .map(|i| (parscan_parallel::utils::hash64(i as u64 ^ 0xf00d) % 8) as u32)
+            .collect();
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi < 0.01, "got {nmi}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        let b = vec![0u32, 1, 1, 2, 2, 2];
+        let ab = normalized_mutual_information(&a, &b);
+        let ba = normalized_mutual_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        // B refines A: informative but not identical.
+        let a = vec![0u32, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0u32, 0, 1, 1, 2, 2, 3, 3];
+        let nmi = normalized_mutual_information(&a, &b);
+        assert!(nmi > 0.5 && nmi < 1.0, "got {nmi}");
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 1.0);
+        let ones = vec![3u32; 10];
+        assert_eq!(normalized_mutual_information(&ones, &ones), 1.0);
+        let singles: Vec<u32> = (0..10).collect();
+        // Single cluster vs singletons: degenerate, non-identical → 0.
+        assert_eq!(normalized_mutual_information(&ones, &singles), 0.0);
+        assert!((normalized_mutual_information(&singles, &singles) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same vertices")]
+    fn rejects_length_mismatch() {
+        normalized_mutual_information(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn bit_for_bit_deterministic_across_calls() {
+        let a: Vec<u32> = (0..5000)
+            .map(|i| (parscan_parallel::utils::hash64(i) % 9) as u32)
+            .collect();
+        let b: Vec<u32> = (0..5000)
+            .map(|i| (parscan_parallel::utils::hash64(i ^ 0x77) % 9) as u32)
+            .collect();
+        let first = normalized_mutual_information(&a, &b);
+        for _ in 0..10 {
+            assert_eq!(
+                normalized_mutual_information(&a, &b).to_bits(),
+                first.to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Parallel connected components over an explicit edge list.
+//!
+//! This plays the role of the work-efficient parallel connectivity
+//! algorithm the paper cites (Gazit, §2.3.2): Algorithm 5 line 6 runs
+//! "connected components of the subgraph induced by similar_core_edges".
+//! The production query path replaces this with concurrent union-find
+//! (§6.2), which avoids materializing the subgraph; this module provides
+//! the literal materialize-then-solve alternative so the two can be
+//! compared (see the `connectivity` ablation bench).
+//!
+//! The algorithm is a deterministic min-label hooking scheme with pointer
+//! jumping (in the Shiloach–Vishkin / FastSV family): every vertex holds a
+//! label, each round hooks both endpoints of every edge to the smaller of
+//! their current labels with `fetch_min`, then fully compresses label
+//! chains. Labels are monotonically non-increasing and every round merges
+//! at least two distinct labels per surviving component boundary, so the
+//! loop terminates after at most `O(log n)` rounds on `O(m + n)` work per
+//! round. (Gazit's algorithm improves this to `O(m + n)` total expected
+//! work; the simpler variant keeps the same interface and parallel depth
+//! in practice while staying deterministic.)
+
+use crate::primitives::{par_for, reduce};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Compute connected-component labels for `n` vertices and the given
+/// undirected `edges`. Returns `labels` where `labels[v]` is the minimum
+/// vertex id in `v`'s component — the same canonical representative that
+/// [`crate::union_find::ConcurrentUnionFind::components`] produces, so the
+/// two algorithms' outputs are directly comparable.
+///
+/// Vertices mentioned by no edge stay in singleton components.
+///
+/// # Panics
+///
+/// Panics if any edge endpoint is `>= n`.
+pub fn connected_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let labels: Vec<AtomicU32> = (0..n).map(|v| AtomicU32::new(v as u32)).collect();
+    assert!(
+        edges
+            .iter()
+            .all(|&(u, v)| (u as usize) < n && (v as usize) < n),
+        "edge endpoint out of range"
+    );
+
+    loop {
+        let changed = AtomicBool::new(false);
+        // Hook: pull both endpoints down to the smaller current label.
+        // `fetch_min` returns the previous value, so either endpoint
+        // strictly decreasing is observable progress.
+        par_for(edges.len(), 2048, |i| {
+            let (u, v) = edges[i];
+            let lu = labels[u as usize].load(Ordering::Relaxed);
+            let lv = labels[v as usize].load(Ordering::Relaxed);
+            if lu != lv {
+                let m = lu.min(lv);
+                let pu = labels[u as usize].fetch_min(m, Ordering::Relaxed);
+                let pv = labels[v as usize].fetch_min(m, Ordering::Relaxed);
+                if pu > m || pv > m {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        // Shortcut: full pointer jumping until every label is a fixpoint
+        // (labels[l] == l). Each vertex chases its chain; chains only
+        // shrink, so this is race-free under Relaxed loads.
+        par_for(n, 4096, |v| {
+            let mut l = labels[v].load(Ordering::Relaxed);
+            loop {
+                let ll = labels[l as usize].load(Ordering::Relaxed);
+                if ll == l {
+                    break;
+                }
+                l = ll;
+            }
+            labels[v].store(l, Ordering::Relaxed);
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+
+    labels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Number of connected components given a label array produced by
+/// [`connected_components`] (labels are canonical minimum ids, so a
+/// component is counted exactly where `labels[v] == v`).
+pub fn count_components(labels: &[u32]) -> usize {
+    reduce(
+        labels.len(),
+        8192,
+        0usize,
+        |v| usize::from(labels[v] == v as u32),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union_find::ConcurrentUnionFind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn via_union_find(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let uf = ConcurrentUnionFind::new(n);
+        for &(u, v) in edges {
+            uf.union(u, v);
+        }
+        uf.components()
+    }
+
+    #[test]
+    fn empty_graph_is_singletons() {
+        let labels = connected_components(5, &[]);
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(count_components(&labels), 5);
+    }
+
+    #[test]
+    fn single_path() {
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+        let labels = connected_components(10, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+        assert_eq!(count_components(&labels), 1);
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        // {0,1,2} and {4,5}; 3 isolated.
+        let labels = connected_components(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+        assert_eq!(count_components(&labels), 3);
+    }
+
+    #[test]
+    fn adversarial_chain_orientations() {
+        // Descending chains force multiple hook/shortcut rounds.
+        let n = 64u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (i, i - 1)).rev().collect();
+        let labels = connected_components(n as usize, &edges);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..200usize);
+            let m = rng.gen_range(0..400usize);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n) as u32,
+                        rng.gen_range(0..n) as u32,
+                    )
+                })
+                .collect();
+            let a = connected_components(n, &edges);
+            let b = via_union_find(n, &edges);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let labels = connected_components(3, &[(1, 1), (0, 2)]);
+        assert_eq!(labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_endpoint() {
+        connected_components(3, &[(0, 3)]);
+    }
+
+    #[test]
+    fn large_star_and_cliques() {
+        // Star centered at 0 plus a disjoint clique on {1000..1010}.
+        let mut edges: Vec<(u32, u32)> = (1..1000).map(|i| (0, i)).collect();
+        for a in 1000..1010u32 {
+            for b in (a + 1)..1010 {
+                edges.push((a, b));
+            }
+        }
+        let labels = connected_components(1010, &edges);
+        assert!(labels[..1000].iter().all(|&l| l == 0));
+        assert!(labels[1000..].iter().all(|&l| l == 1000));
+        assert_eq!(count_components(&labels), 2);
+    }
+}

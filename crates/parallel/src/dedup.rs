@@ -1,0 +1,56 @@
+//! Parallel duplicate removal via a phase-concurrent hash set (the
+//! RemoveDuplicates primitive of §2.3.2 / Algorithm 4 line 2).
+
+use crate::filter::filter_map_index;
+use crate::hashtable::ConcurrentSetU64;
+
+/// Return the distinct values of `input`.
+///
+/// Exactly one occurrence of each distinct value survives (the one whose
+/// `insert` won), so the output *set* is deterministic while the output
+/// *order* may vary across runs — callers that need canonical order sort.
+pub fn remove_duplicates_u64(input: &[u64]) -> Vec<u64> {
+    let set = ConcurrentSetU64::with_capacity(input.len());
+    filter_map_index(input.len(), |i| set.insert(input[i]).then_some(input[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utils::hash64;
+    use std::collections::HashSet;
+
+    #[test]
+    fn removes_duplicates() {
+        let input: Vec<u64> = (0..100_000).map(|i| hash64(i) % 1000).collect();
+        let mut got = remove_duplicates_u64(&input);
+        got.sort_unstable();
+        let mut want: Vec<u64> = input
+            .iter()
+            .copied()
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn no_duplicates_is_identity_set() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let mut got = remove_duplicates_u64(&input);
+        got.sort_unstable();
+        assert_eq!(got, input);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(remove_duplicates_u64(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_same_value() {
+        let input = vec![42u64; 5000];
+        assert_eq!(remove_duplicates_u64(&input), vec![42]);
+    }
+}

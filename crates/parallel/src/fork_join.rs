@@ -1,0 +1,424 @@
+//! A work-stealing fork-join scheduler supporting *nested* parallelism.
+//!
+//! The paper's execution model (§2.3.1) is Cilk-style arbitrary fork-join.
+//! The flat [`crate::pool`] covers every algorithm in this repository with
+//! data-parallel phases, but it deliberately collapses nested parallel
+//! calls to sequential execution. This module provides the genuinely
+//! nested alternative — a binary [`join`] on a Chase–Lev work-stealing
+//! deque substrate (the design of the Cilk/GBBS schedulers the paper runs
+//! on, and of rayon) — so that recursive divide-and-conquer algorithms
+//! (e.g. [`crate::quicksort`]) can be expressed directly and compared
+//! against their flat formulations.
+//!
+//! Scheduling discipline: `join(a, b)` publishes `b` on the calling
+//! worker's deque (stealable, FIFO end), runs `a` inline, then *reclaims*
+//! `b` with a LIFO pop if nobody stole it — so in the common case the
+//! whole computation runs on one stack with zero synchronization beyond
+//! one push/pop pair. If `b` was stolen, the caller helps by stealing
+//! other tasks until `b`'s latch flips.
+//!
+//! # Safety
+//!
+//! Published tasks are lifetime-erased pointers to stack frames
+//! ([`StackJob`]); this is sound because `join` never returns (or unwinds)
+//! past the frame until the task was either reclaimed-and-run inline or
+//! its completion latch is set by the thief. Panics inside either closure
+//! are caught, carried across threads, and re-thrown at the join point.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// A type-erased reference to a published job. Fat pointer to a stack
+/// frame owned by some `join` invocation that outlives the reference.
+#[derive(Clone, Copy)]
+struct TaskRef(*const dyn Job);
+unsafe impl Send for TaskRef {}
+
+impl TaskRef {
+    fn same(self, other: TaskRef) -> bool {
+        std::ptr::eq(self.0 as *const (), other.0 as *const ())
+    }
+}
+
+trait Job {
+    /// # Safety
+    /// Must be called at most once, while the underlying frame is alive.
+    unsafe fn execute(&self);
+}
+
+/// A job whose closure, result slot, and completion latch live on the
+/// stack of the `join` call that published it.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+// SAFETY: accesses are ordered by the `done` latch — the executor is the
+// only toucher before `done`, the owner the only toucher after.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
+    fn new(f: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Erase the lifetime for publication. Caller promises to keep the
+    /// frame alive until [`StackJob::probe`] returns true or the job is
+    /// reclaimed unexecuted.
+    unsafe fn as_task_ref(&self) -> TaskRef {
+        let fat: *const dyn Job = self;
+        TaskRef(std::mem::transmute::<*const dyn Job, *const (dyn Job + 'static)>(fat))
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Take the result after the latch is set (or after an inline run).
+    ///
+    /// # Safety
+    /// Only the owning `join` frame may call this, exactly once, after
+    /// `probe()` or an inline `execute`.
+    unsafe fn take_result(&self) -> R {
+        match (*self.result.get()).take().expect("job ran") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl<F: FnOnce() -> R + Send, R: Send> Job for StackJob<F, R> {
+    unsafe fn execute(&self) {
+        let f = (*self.func.get()).take().expect("job executed twice");
+        let out = panic::catch_unwind(AssertUnwindSafe(f));
+        *self.result.get() = Some(out);
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+struct Shared {
+    injector: Injector<TaskRef>,
+    stealers: Vec<Stealer<TaskRef>>,
+    /// Number of workers currently parked; guards spurious notifies.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+}
+
+impl Shared {
+    /// Wake one parked worker if any exist (called after every publish).
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            let _g = self.sleep_lock.lock();
+            self.sleep_cv.notify_one();
+        }
+    }
+
+    /// One full steal sweep: injector first, then every other worker's
+    /// deque. Returns `None` only when everything reported Empty.
+    fn steal_once(&self, skip: usize) -> Option<TaskRef> {
+        loop {
+            let mut retry = false;
+            match self.injector.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+            let k = self.stealers.len();
+            let start = if skip >= k { 0 } else { skip + 1 };
+            for off in 0..k {
+                let i = (start + off) % k;
+                if i == skip {
+                    continue;
+                }
+                match self.stealers[i].steal() {
+                    Steal::Success(t) => return Some(t),
+                    Steal::Retry => retry = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !retry {
+                return None;
+            }
+        }
+    }
+}
+
+struct WorkerCtx {
+    local: Worker<TaskRef>,
+    index: usize,
+}
+
+thread_local! {
+    /// Set on fork-join workers; `join` from other threads takes the
+    /// injector path.
+    static FJ_WORKER: Cell<Option<&'static WorkerCtx>> = const { Cell::new(None) };
+}
+
+static SHARED: OnceLock<&'static Shared> = OnceLock::new();
+
+/// Number of threads the fork-join scheduler uses (workers + the caller).
+pub fn fj_threads() -> usize {
+    shared().stealers.len() + 1
+}
+
+fn shared() -> &'static Shared {
+    SHARED.get_or_init(|| {
+        let threads = std::env::var("PARSCAN_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+        let n_workers = threads.saturating_sub(1);
+        let locals: Vec<Worker<TaskRef>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+        }));
+        for (index, local) in locals.into_iter().enumerate() {
+            std::thread::Builder::new()
+                .name(format!("parscan-fj-{index}"))
+                .spawn(move || {
+                    let ctx: &'static WorkerCtx =
+                        Box::leak(Box::new(WorkerCtx { local, index }));
+                    FJ_WORKER.with(|w| w.set(Some(ctx)));
+                    worker_loop(ctx, shared);
+                })
+                .expect("failed to spawn fork-join worker");
+        }
+        shared
+    })
+}
+
+fn worker_loop(ctx: &'static WorkerCtx, shared: &'static Shared) -> ! {
+    loop {
+        let task = ctx
+            .local
+            .pop()
+            .or_else(|| shared.steal_once(ctx.index));
+        match task {
+            // SAFETY: published tasks are alive until their latch is set.
+            Some(t) => unsafe { (*t.0).execute() },
+            None => {
+                // Park until another publish; timeout re-checks the queues
+                // so a lost wakeup only costs latency, never progress.
+                shared.sleepers.fetch_add(1, Ordering::Relaxed);
+                let mut g = shared.sleep_lock.lock();
+                shared
+                    .sleep_cv
+                    .wait_for(&mut g, std::time::Duration::from_millis(10));
+                drop(g);
+                shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+/// Nested calls compose: each level exposes `b` to thieves, so recursive
+/// divide-and-conquer yields parallelism at every depth (unlike the flat
+/// [`crate::pool`], which serializes nested calls).
+///
+/// Panics from either closure propagate to the caller after both have
+/// finished or been reclaimed.
+///
+/// ```
+/// use parscan_parallel::fork_join::join;
+///
+/// fn fib(n: u64) -> u64 {
+///     if n < 2 { return n; }
+///     let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+///     a + b
+/// }
+/// assert_eq!(fib(16), 987);
+/// ```
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let shared = shared();
+    let job_b = StackJob::new(b);
+    // SAFETY: this frame outlives the published reference — both exit
+    // paths below wait for reclaim-or-latch before returning/unwinding.
+    let b_ref = unsafe { job_b.as_task_ref() };
+
+    let ctx = FJ_WORKER.with(|w| w.get());
+    match ctx {
+        Some(ctx) => ctx.local.push(b_ref),
+        None => shared.injector.push(b_ref),
+    }
+    shared.notify();
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Reclaim b if nobody stole it; otherwise help until it completes.
+    if !job_b.probe() {
+        let mut reclaimed = false;
+        if let Some(ctx) = ctx {
+            // LIFO discipline: every task pushed during `a` was already
+            // reclaimed by its own join, so the top is ours or gone.
+            if let Some(t) = ctx.local.pop() {
+                debug_assert!(t.same(b_ref), "foreign task above our join frame");
+                // SAFETY: reclaimed before anyone else could run it.
+                unsafe { (*t.0).execute() };
+                reclaimed = t.same(b_ref);
+                if !reclaimed {
+                    // Defensive: we executed a foreign task; keep waiting.
+                }
+            }
+        } else {
+            // External callers published to the injector; they cannot
+            // reclaim by identity, only help until the latch flips. If a
+            // steal hands our own task back, executing it completes us.
+        }
+        if !reclaimed {
+            let skip = ctx.map_or(usize::MAX, |c| c.index);
+            while !job_b.probe() {
+                match shared.steal_once(skip) {
+                    // SAFETY: stolen tasks are alive until latched.
+                    Some(t) => unsafe { (*t.0).execute() },
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
+    }
+
+    let ra = match ra {
+        Ok(r) => r,
+        Err(payload) => {
+            // b has completed or run inline by now; re-throw a's panic.
+            panic::resume_unwind(payload);
+        }
+    };
+    // SAFETY: latch observed (or inline execution happened-before).
+    let rb = unsafe { job_b.take_result() };
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+        a + b
+    }
+
+    #[test]
+    fn nested_joins_compute_fib() {
+        assert_eq!(fib(20), 6765);
+    }
+
+    #[test]
+    fn join_from_external_thread() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn deep_recursion_sums_range() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+            a + b
+        }
+        let n = 1_000_000;
+        assert_eq!(sum(0, n), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably_on_both_sides() {
+        let mut left = vec![0u64; 512];
+        let mut right = vec![0u64; 512];
+        join(
+            || {
+                for (i, x) in left.iter_mut().enumerate() {
+                    *x = i as u64;
+                }
+            },
+            || {
+                for (i, x) in right.iter_mut().enumerate() {
+                    *x = 2 * i as u64;
+                }
+            },
+        );
+        assert_eq!(left[511], 511);
+        assert_eq!(right[511], 1022);
+    }
+
+    #[test]
+    fn panic_in_b_propagates() {
+        let caught = panic::catch_unwind(|| {
+            join(|| 5, || panic!("boom-b"));
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-b");
+    }
+
+    #[test]
+    fn panic_in_a_propagates_after_b_finishes() {
+        let b_ran = AtomicBool::new(false);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            join(
+                || panic!("boom-a"),
+                || b_ran.store(true, Ordering::SeqCst),
+            );
+        }));
+        assert!(caught.is_err());
+        assert!(b_ran.load(Ordering::SeqCst), "b must still run or be reclaimed");
+    }
+
+    #[test]
+    fn many_concurrent_root_joins() {
+        // Stress: several external threads hammer the scheduler at once.
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let total = &total;
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let (a, b) = join(move || t * i, move || t + i);
+                        total.fetch_add(a + b, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let want: u64 = (0..4)
+            .flat_map(|t| (0..50).map(move |i| t * i + t + i))
+            .sum();
+        assert_eq!(total.load(Ordering::Relaxed), want);
+    }
+
+    #[test]
+    fn fj_threads_is_positive() {
+        assert!(fj_threads() >= 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Phase-concurrent open-addressing hash tables (Shun–Blelloch style, the
+//! Gil et al. primitive of §2.3.2): linear probing over CAS-published
+//! slots. *Phase-concurrent* means all threads perform the same kind of
+//! operation between synchronization points: any number of concurrent
+//! `insert`s, then a barrier (e.g. the pool's `run` returning), then any
+//! number of concurrent lookups. This matches every use in the paper
+//! (neighborhood sets, core sets, duplicate removal).
+
+use crate::utils::{hash64, next_pow2};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const EMPTY: u64 = u64::MAX;
+
+/// A concurrent set of `u64` keys (keys must be `< u64::MAX`).
+pub struct ConcurrentSetU64 {
+    slots: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ConcurrentSetU64 {
+    /// Create a set able to hold `capacity` keys at ≤ 50% load.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n_slots = next_pow2(2 * capacity.max(1));
+        let slots = (0..n_slots).map(|_| AtomicU64::new(EMPTY)).collect();
+        ConcurrentSetU64 {
+            slots,
+            mask: n_slots - 1,
+        }
+    }
+
+    /// Insert `key`; returns `true` iff this call won the insertion (i.e.
+    /// the key was not already present). Safe to call concurrently.
+    ///
+    /// # Panics
+    /// Panics when the table is full — an under-sized table must fail
+    /// loudly rather than spin forever in the probe loop.
+    pub fn insert(&self, key: u64) -> bool {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the empty sentinel");
+        let mut i = (hash64(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let cur = self.slots[i].load(Ordering::Relaxed);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match self.slots[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return true,
+                    Err(found) if found == key => return false,
+                    Err(_) => {} // someone claimed the slot; keep probing
+                }
+            } else {
+                i = (i + 1) & self.mask;
+                probes += 1;
+                assert!(
+                    probes <= self.mask,
+                    "ConcurrentSetU64 overflow: {} slots, caller under-sized the table",
+                    self.slots.len()
+                );
+            }
+        }
+    }
+
+    /// Membership test. Must be in a read phase (no concurrent inserts
+    /// without an intervening synchronization point).
+    pub fn contains(&self, key: u64) -> bool {
+        let mut i = (hash64(key) as usize) & self.mask;
+        loop {
+            let cur = self.slots[i].load(Ordering::Relaxed);
+            if cur == key {
+                return true;
+            }
+            if cur == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Number of slots (diagnostics).
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// A concurrent map from `u64` keys (`< u64::MAX`) to `u64` values.
+///
+/// Phase-concurrent: concurrent `insert`s must be separated from `get`s by
+/// a synchronization point, which makes the value store visible via the
+/// barrier's happens-before edge.
+pub struct ConcurrentMapU64 {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    mask: usize,
+}
+
+impl ConcurrentMapU64 {
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n_slots = next_pow2(2 * capacity.max(1));
+        ConcurrentMapU64 {
+            keys: (0..n_slots).map(|_| AtomicU64::new(EMPTY)).collect(),
+            vals: (0..n_slots).map(|_| AtomicU64::new(0)).collect(),
+            mask: n_slots - 1,
+        }
+    }
+
+    /// Insert `(key, value)`; returns `true` iff the key was newly
+    /// inserted. If the key already exists its value is left unchanged
+    /// (first writer wins), matching the paper's MakeHashMap usage where
+    /// keys are unique.
+    ///
+    /// # Panics
+    /// Panics when the table is full (see [`ConcurrentSetU64::insert`]).
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        debug_assert_ne!(key, EMPTY);
+        let mut i = (hash64(key) as usize) & self.mask;
+        let mut probes = 0usize;
+        loop {
+            let cur = self.keys[i].load(Ordering::Relaxed);
+            if cur == key {
+                return false;
+            }
+            if cur == EMPTY {
+                match self.keys[i].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        self.vals[i].store(value, Ordering::Relaxed);
+                        return true;
+                    }
+                    Err(found) if found == key => return false,
+                    Err(_) => {}
+                }
+            } else {
+                i = (i + 1) & self.mask;
+                probes += 1;
+                assert!(
+                    probes <= self.mask,
+                    "ConcurrentMapU64 overflow: {} slots, caller under-sized the table",
+                    self.keys.len()
+                );
+            }
+        }
+    }
+
+    /// Lookup. Must be in a read phase.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut i = (hash64(key) as usize) & self.mask;
+        loop {
+            let cur = self.keys[i].load(Ordering::Relaxed);
+            if cur == key {
+                return Some(self.vals[i].load(Ordering::Relaxed));
+            }
+            if cur == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::par_for;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn set_insert_and_contains() {
+        let set = ConcurrentSetU64::with_capacity(100);
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.contains(5));
+        assert!(!set.contains(6));
+    }
+
+    #[test]
+    fn set_parallel_insert_unique_winners() {
+        let n = 50_000usize;
+        let set = ConcurrentSetU64::with_capacity(n);
+        let wins = AtomicUsize::new(0);
+        // Each key inserted from 4 different indices; exactly one wins.
+        par_for(4 * n, 1024, |i| {
+            if set.insert((i % n) as u64) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), n);
+        for k in 0..n as u64 {
+            assert!(set.contains(k));
+        }
+        assert!(!set.contains(n as u64));
+    }
+
+    #[test]
+    fn set_matches_std_hashset() {
+        let keys: Vec<u64> = (0..20_000).map(|i| crate::utils::hash64(i) % 5000).collect();
+        let set = ConcurrentSetU64::with_capacity(keys.len());
+        par_for(keys.len(), 512, |i| {
+            set.insert(keys[i]);
+        });
+        let std_set: HashSet<u64> = keys.iter().copied().collect();
+        for k in 0..5000u64 {
+            assert_eq!(set.contains(k), std_set.contains(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn map_insert_get() {
+        let map = ConcurrentMapU64::with_capacity(1000);
+        par_for(1000, 64, |i| {
+            map.insert(i as u64, (i * i) as u64);
+        });
+        for i in 0..1000u64 {
+            assert_eq!(map.get(i), Some(i * i));
+        }
+        assert_eq!(map.get(1000), None);
+    }
+
+    #[test]
+    fn map_first_writer_wins_is_single_value() {
+        let map = ConcurrentMapU64::with_capacity(16);
+        assert!(map.insert(3, 10));
+        assert!(!map.insert(3, 20));
+        assert_eq!(map.get(3), Some(10));
+    }
+
+    #[test]
+    fn handles_colliding_keys() {
+        // Sequential keys stress linear probing chains.
+        let set = ConcurrentSetU64::with_capacity(4);
+        for k in 0..8u64 {
+            set.insert(k);
+        }
+        for k in 0..8u64 {
+            assert!(set.contains(k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overfull_set_fails_loudly_instead_of_spinning() {
+        // Regression: inserting past capacity used to spin forever in the
+        // probe loop; it must panic instead.
+        let set = ConcurrentSetU64::with_capacity(4); // 8 slots
+        for k in 0..9u64 {
+            set.insert(k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overfull_map_fails_loudly_instead_of_spinning() {
+        let map = ConcurrentMapU64::with_capacity(4);
+        for k in 0..9u64 {
+            map.insert(k, k);
+        }
+    }
+}

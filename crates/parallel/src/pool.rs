@@ -1,0 +1,368 @@
+//! A persistent fork-join worker pool executing flat parallel loops.
+//!
+//! The design is deliberately minimal: a job is a closure `f(chunk_index)`
+//! over `n_chunks` chunks, and workers (plus the submitting thread) race on
+//! an atomic counter to claim chunks. This gives dynamic load balancing at
+//! chunk granularity — the property the paper relies on for skewed
+//! per-vertex/per-edge work — without the complexity of a general deque
+//! scheduler. Nested parallel calls from inside a worker run sequentially,
+//! which keeps every algorithm in this repository expressible as a sequence
+//! of flat data-parallel phases (exactly how the GBBS implementations the
+//! paper builds on structure their loops).
+//!
+//! # Safety
+//!
+//! `run` erases the lifetime of the closure so workers can hold a reference
+//! to it. This is sound because `run` blocks until every chunk has completed
+//! (`finished == n_chunks`), a chunk is claimed by exactly one thread
+//! (`fetch_add`), and `finished` is only incremented *after* the closure
+//! invocation for a claimed chunk returns. A late-waking worker can still
+//! hold the (dangling) job pointer after `run` returns, but it only ever
+//! dereferences the closure for a successfully claimed chunk, which can no
+//! longer happen once all chunks are taken.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A lifetime-erased reference to the per-chunk closure.
+#[derive(Clone, Copy)]
+struct JobFn(*const (dyn Fn(usize) + Sync + 'static));
+unsafe impl Send for JobFn {}
+unsafe impl Sync for JobFn {}
+
+struct Job {
+    func: JobFn,
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Number of chunks whose closure invocation has returned.
+    finished: AtomicUsize,
+}
+
+impl Job {
+    /// Claim and execute chunks until none remain.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_chunks {
+                break;
+            }
+            // SAFETY: the submitting thread blocks until `finished ==
+            // n_chunks`, so the closure is alive for every claimed chunk.
+            let f = unsafe { &*self.func.0 };
+            f(i);
+            self.finished.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.finished.load(Ordering::Acquire) == self.n_chunks
+    }
+}
+
+struct Shared {
+    /// Monotonic submission counter paired with the current job.
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    job_ready: Condvar,
+    job_done: Condvar,
+    shutdown: AtomicBool,
+    /// Workers with id >= active_workers sit out (used by thread sweeps).
+    active_workers: AtomicUsize,
+}
+
+/// A pool of persistent worker threads executing one flat job at a time.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Guards submission so at most one job is in flight.
+    submit: Mutex<()>,
+    n_workers: usize,
+}
+
+thread_local! {
+    /// Set for pool workers and for threads currently inside `run`, so
+    /// nested parallel calls degrade to sequential execution.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+impl ThreadPool {
+    /// Create a pool with `n_workers` background workers. Total parallelism
+    /// when running a job is `n_workers + 1` (the submitter participates).
+    pub fn new(n_workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            slot: Mutex::new((0, None)),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(n_workers),
+        });
+        for id in 0..n_workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("parscan-worker-{id}"))
+                .spawn(move || worker_loop(id, shared))
+                .expect("failed to spawn pool worker");
+        }
+        ThreadPool {
+            shared,
+            submit: Mutex::new(()),
+            n_workers,
+        }
+    }
+
+    /// Number of threads that participate in a job at full width.
+    pub fn parallelism(&self) -> usize {
+        self.n_workers + 1
+    }
+
+    /// Bound the number of participating threads to `threads` (including the
+    /// submitter). Values are clamped to `[1, parallelism()]`.
+    pub fn set_active_threads(&self, threads: usize) {
+        let workers = threads.clamp(1, self.parallelism()) - 1;
+        self.shared.active_workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Currently active thread count (including the submitter).
+    pub fn active_threads(&self) -> usize {
+        self.shared.active_workers.load(Ordering::Relaxed) + 1
+    }
+
+    /// Execute `f(0), f(1), ..., f(n_chunks - 1)` in parallel, blocking
+    /// until all invocations complete. Chunks are claimed dynamically, so
+    /// skewed per-chunk work balances across threads.
+    pub fn run<F>(&self, n_chunks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n_chunks == 0 {
+            return;
+        }
+        // Sequential fallbacks: trivial jobs, nested calls, no workers.
+        if n_chunks == 1 || self.n_workers == 0 || IN_POOL.with(|c| c.get()) {
+            for i in 0..n_chunks {
+                f(i);
+            }
+            return;
+        }
+
+        let _guard = self.submit.lock();
+        // SAFETY: see module-level safety comment; `run` blocks until every
+        // chunk finished, so erasing the lifetime of `f` is sound.
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        let f_erased: JobFn = unsafe {
+            JobFn(std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f_ref as *const _))
+        };
+        let job = Arc::new(Job {
+            func: f_erased,
+            n_chunks,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+        });
+
+        {
+            let mut slot = self.shared.slot.lock();
+            slot.0 += 1;
+            slot.1 = Some(Arc::clone(&job));
+            self.shared.job_ready.notify_all();
+        }
+
+        // Participate, with nested calls collapsing to sequential.
+        IN_POOL.with(|c| c.set(true));
+        job.work();
+        IN_POOL.with(|c| c.set(false));
+
+        // Wait for stragglers still finishing claimed chunks.
+        if !job.is_done() {
+            let mut slot = self.shared.slot.lock();
+            while !job.is_done() {
+                self.shared.job_done.wait(&mut slot);
+            }
+        }
+        // Retire the job so late-waking workers do not rescan it.
+        let mut slot = self.shared.slot.lock();
+        slot.1 = None;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _slot = self.shared.slot.lock();
+        self.shared.job_ready.notify_all();
+    }
+}
+
+fn worker_loop(id: usize, shared: Arc<Shared>) {
+    IN_POOL.with(|c| c.set(true));
+    let mut last_seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if slot.0 != last_seen {
+                    last_seen = slot.0;
+                    if let Some(job) = slot.1.clone() {
+                        if id < shared.active_workers.load(Ordering::Relaxed) {
+                            break Some(job);
+                        }
+                    }
+                    break None;
+                }
+                shared.job_ready.wait(&mut slot);
+            }
+        };
+        if let Some(job) = job {
+            job.work();
+            if job.is_done() {
+                // The submitter may be waiting on `job_done`.
+                let _slot = shared.slot.lock();
+                shared.job_done.notify_all();
+            }
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide pool used by all primitives in this crate.
+///
+/// Thread count comes from `PARSCAN_THREADS` if set, otherwise from
+/// [`std::thread::available_parallelism`].
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| {
+        let threads = std::env::var("PARSCAN_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(threads - 1)
+    })
+}
+
+/// Number of threads the global pool currently uses per job.
+pub fn num_threads() -> usize {
+    global().active_threads()
+}
+
+/// Maximum parallelism of the global pool.
+pub fn max_threads() -> usize {
+    global().parallelism()
+}
+
+/// Bound the global pool to `threads` participating threads (incl. caller).
+/// Used by the scaling experiments to sweep thread counts.
+pub fn set_active_threads(threads: usize) {
+    global().set_active_threads(threads);
+}
+
+/// Split `n` elements into chunk ranges of roughly `grain` elements, capped
+/// so a full-width job has several chunks per thread for load balancing.
+pub fn chunk_ranges(n: usize, grain: usize) -> Vec<Range<usize>> {
+    let grain = grain.max(1);
+    let max_chunks = 8 * num_threads();
+    let n_chunks = n.div_ceil(grain).clamp(1, max_chunks.max(1));
+    let base = n / n_chunks;
+    let extra = n % n_chunks;
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    for i in 0..n_chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let counts: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run(1000, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_workers_is_sequential() {
+        let pool = ThreadPool::new(0);
+        let sum = AtomicU64::new(0);
+        pool.run(100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn nested_run_degrades_to_sequential() {
+        let pool = global();
+        let total = AtomicU64::new(0);
+        pool.run(8, |_| {
+            // Nested call executes inline on this worker.
+            global().run(8, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 28);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_pool() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50 {
+            let sum = AtomicU64::new(0);
+            pool.run(64, |i| {
+                sum.fetch_add((i + round) as u64, Ordering::Relaxed);
+            });
+            let expected: u64 = (0..64).map(|i| (i + round) as u64).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), expected);
+        }
+    }
+
+    #[test]
+    fn active_thread_limit_is_respected_functionally() {
+        let pool = ThreadPool::new(4);
+        pool.set_active_threads(1);
+        assert_eq!(pool.active_threads(), 1);
+        let sum = AtomicU64::new(0);
+        pool.run(256, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 255 * 256 / 2);
+        pool.set_active_threads(usize::MAX);
+        assert_eq!(pool.active_threads(), 5);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_input() {
+        for n in [0usize, 1, 7, 100, 1001] {
+            for grain in [1usize, 3, 64, 10_000] {
+                let ranges = chunk_ranges(n, grain);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+}

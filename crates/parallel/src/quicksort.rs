@@ -1,0 +1,177 @@
+//! Recursive parallel quicksort on the nested fork-join scheduler.
+//!
+//! This is the divide-and-conquer counterpart to the flat
+//! [`crate::sort`] merge sort: partition sequentially, then sort the two
+//! halves with [`crate::fork_join::join`]. It exists to exercise (and
+//! benchmark) genuine nested parallelism against the flat formulation the
+//! production code uses — the `primitives` Criterion bench compares the
+//! two directly.
+//!
+//! Expected `O(n log n)` work; the span is dominated by the `O(n)`
+//! sequential top-level partition (a parallel partition would restore
+//! `O(log² n)` span — GBBS does this — but the simple version is the
+//! point of the ablation: nested `join` alone already recovers most of
+//! the parallelism). Adversarial inputs degrade gracefully via a depth
+//! cap to the sequential fallback.
+
+use crate::fork_join::join;
+use std::cmp::Ordering;
+
+/// Below this length, fall back to the standard library's sort.
+const SEQ_CUTOFF: usize = 2_048;
+
+/// Sort `data` in parallel with `cmp`, using nested fork-join recursion.
+/// Unstable (like [`slice::sort_unstable_by`], which it matches exactly in
+/// output for total orders).
+pub fn par_quicksort_by<T, F>(data: &mut [T], cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    quicksort(data, &cmp, 0);
+}
+
+/// Sort an ordered slice in parallel (convenience wrapper).
+pub fn par_quicksort<T: Ord + Send>(data: &mut [T]) {
+    par_quicksort_by(data, T::cmp);
+}
+
+fn quicksort<T, F>(data: &mut [T], cmp: &F, depth: u32)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    // Depth cap: pathological pivot sequences fall back to the (serial)
+    // pattern-defeating sort instead of recursing quadratically.
+    if n <= SEQ_CUTOFF || depth > 2 * (usize::BITS - n.leading_zeros()) {
+        data.sort_unstable_by(cmp);
+        return;
+    }
+
+    let pivot_idx = median_of_three(data, cmp);
+    data.swap(pivot_idx, n - 1);
+    let mid = partition(data, cmp);
+    let (lo, rest) = data.split_at_mut(mid);
+    // rest[0] is the pivot, already in final position.
+    let hi = &mut rest[1..];
+    join(
+        || quicksort(lo, cmp, depth + 1),
+        || quicksort(hi, cmp, depth + 1),
+    );
+}
+
+/// Hoare-style three-point pivot selection: index of the median of the
+/// first, middle, and last elements.
+fn median_of_three<T, F>(data: &[T], cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (a, b, c) = (0, data.len() / 2, data.len() - 1);
+    let le = |i: usize, j: usize| cmp(&data[i], &data[j]) != Ordering::Greater;
+    if le(a, b) {
+        if le(b, c) {
+            b
+        } else if le(a, c) {
+            c
+        } else {
+            a
+        }
+    } else if le(a, c) {
+        a
+    } else if le(b, c) {
+        c
+    } else {
+        b
+    }
+}
+
+/// Lomuto partition with the pivot at `data[n - 1]`; returns the pivot's
+/// final index.
+fn partition<T, F>(data: &mut [T], cmp: &F) -> usize
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let n = data.len();
+    let mut store = 0;
+    for i in 0..n - 1 {
+        if cmp(&data[i], &data[n - 1]) == Ordering::Less {
+            data.swap(i, store);
+            store += 1;
+        }
+    }
+    data.swap(store, n - 1);
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_random_u64() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut data: Vec<u64> = (0..100_000).map(|_| rng.gen()).collect();
+        let mut want = data.clone();
+        want.sort_unstable();
+        par_quicksort(&mut data);
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn sorts_below_cutoff() {
+        let mut data = vec![5u32, 3, 1, 4, 2];
+        par_quicksort(&mut data);
+        assert_eq!(data, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn handles_adversarial_inputs() {
+        for gen in [
+            (|i: usize| i as u64) as fn(usize) -> u64,      // sorted
+            |i| (100_000 - i) as u64,                        // reverse sorted
+            |_| 7,                                           // constant
+            |i| (i % 3) as u64,                              // few distinct
+        ] {
+            let mut data: Vec<u64> = (0..100_000).map(gen).collect();
+            let mut want = data.clone();
+            want.sort_unstable();
+            par_quicksort(&mut data);
+            assert_eq!(data, want);
+        }
+    }
+
+    #[test]
+    fn custom_comparator_descending() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<u32> = (0..50_000).map(|_| rng.gen()).collect();
+        let mut want = data.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        par_quicksort_by(&mut data, |a, b| b.cmp(a));
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<u32> = vec![];
+        par_quicksort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![9u32];
+        par_quicksort(&mut one);
+        assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn matches_flat_merge_sort() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut a: Vec<(u64, u32)> = (0..80_000)
+            .map(|i| (rng.gen_range(0..1000u64), i as u32))
+            .collect();
+        let mut b = a.clone();
+        par_quicksort_by(&mut a, |x, y| x.cmp(y));
+        crate::sort::par_sort_unstable_by(&mut b, |x, y| x.cmp(y));
+        assert_eq!(a, b);
+    }
+}

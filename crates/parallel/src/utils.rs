@@ -1,0 +1,102 @@
+//! Small shared helpers: pointer wrappers for disjoint parallel writes,
+//! hashing, and integer math.
+
+/// A raw pointer that asserts cross-thread usability.
+///
+/// Used to hand a base pointer to pool workers that write *disjoint*
+/// regions; every use site is responsible for disjointness.
+#[derive(Clone, Copy)]
+pub struct SyncMutPtr<T>(pub *mut T);
+unsafe impl<T: Send> Send for SyncMutPtr<T> {}
+unsafe impl<T: Send> Sync for SyncMutPtr<T> {}
+
+impl<T> SyncMutPtr<T> {
+    #[inline]
+    pub fn new(slice: &mut [T]) -> Self {
+        SyncMutPtr(slice.as_mut_ptr())
+    }
+
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently aliased.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        self.0.add(idx).write(value);
+    }
+
+    /// # Safety
+    /// `range` must be in bounds and not concurrently aliased.
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// A shared-read raw pointer (for slices read by all workers).
+#[derive(Clone, Copy)]
+pub struct SyncPtr<T>(pub *const T);
+unsafe impl<T: Sync> Send for SyncPtr<T> {}
+unsafe impl<T: Sync> Sync for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    #[inline]
+    pub fn new(slice: &[T]) -> Self {
+        SyncPtr(slice.as_ptr())
+    }
+
+    /// # Safety
+    /// `start + len` must be in bounds of the original slice.
+    #[inline]
+    pub unsafe fn slice(&self, start: usize, len: usize) -> &[T] {
+        std::slice::from_raw_parts(self.0.add(start), len)
+    }
+}
+
+/// Fast 64-bit mixing (splitmix64 finalizer). Good avalanche, not
+/// cryptographic; used for hash tables, LSH seeds, and samplers.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Combine two words into one hash (for keyed/per-sample hashing).
+#[inline]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    hash64(a ^ hash64(b).rotate_left(23))
+}
+
+/// Smallest power of two >= `n` (and >= 1).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_mixes() {
+        // Neighbouring inputs should differ in many bits.
+        let a = hash64(1);
+        let b = hash64(2);
+        assert!(a != b);
+        assert!((a ^ b).count_ones() > 10);
+    }
+
+    #[test]
+    fn hash64_pair_depends_on_order() {
+        assert_ne!(hash64_pair(1, 2), hash64_pair(2, 1));
+    }
+
+    #[test]
+    fn next_pow2_basics() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

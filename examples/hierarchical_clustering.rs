@@ -1,0 +1,59 @@
+//! Hierarchical clustering from the index — the paper's second
+//! future-work item (§9): "quickly extracting hierarchical clusterings
+//! from the SCAN index."
+//!
+//! For a fixed μ, decreasing ε only merges clusters, so the clusterings
+//! form a dendrogram. `EpsilonHierarchy` extracts every merge in one
+//! sweep; cutting it at any ε reproduces the core side of
+//! `index.cluster(μ, ε)` without a fresh query. This example walks the
+//! dendrogram of a nested-community graph and shows the cluster count
+//! collapsing as ε relaxes.
+//!
+//! Run with: `cargo run --release --example hierarchical_clustering`
+
+use parscan::core::hierarchy::EpsilonHierarchy;
+use parscan::prelude::*;
+use std::collections::HashSet;
+
+fn main() {
+    // Nested structure: dense 50-vertex communities, loosely tied in pairs.
+    let (g, truth) = parscan::graph::generators::planted_partition(5_000, 100, 20.0, 1.0, 9);
+    println!(
+        "graph: {} vertices, {} edges, {} planted communities",
+        g.num_vertices(),
+        g.num_edges(),
+        truth.iter().collect::<HashSet<_>>().len()
+    );
+
+    let index = ScanIndex::build(g, IndexConfig::default());
+    let mu = 4;
+    let t0 = std::time::Instant::now();
+    let hierarchy = EpsilonHierarchy::build(&index, mu);
+    println!(
+        "hierarchy for μ={mu}: {} merges extracted in {:.2?}",
+        hierarchy.merges().len(),
+        t0.elapsed()
+    );
+
+    println!("\n{:>6} {:>10} {:>12}", "ε", "clusters", "query-agrees");
+    for eps in [0.9f32, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
+        let cut = hierarchy.cut(eps);
+        let clusters = hierarchy.num_clusters_at(eps);
+
+        // The cut reproduces the query's core assignments exactly.
+        let c = index.cluster(QueryParams::new(mu, eps));
+        let agrees = (0..cut.len()).all(|v| {
+            if c.is_core(v as u32) {
+                cut[v] == c.labels[v]
+            } else {
+                true
+            }
+        });
+        println!("{eps:>6.2} {clusters:>10} {agrees:>12}");
+    }
+
+    println!(
+        "\none dendrogram sweep replaces {} per-ε queries at this μ",
+        9
+    );
+}

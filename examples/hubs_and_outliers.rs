@@ -1,0 +1,85 @@
+//! Hubs and outliers — the capability that distinguishes SCAN from plain
+//! partitioning (§1): vertices that bridge multiple clusters are *hubs*,
+//! vertices attached to nothing dense are *outliers*.
+//!
+//! This example wires several dense communities together through a few
+//! deliberate bridge vertices, adds stray pendant vertices, and shows that
+//! SCAN labels them as hubs and outliers respectively.
+//!
+//! Run with: `cargo run --release --example hubs_and_outliers`
+
+use parscan::core::hubs::{classify_roles, role_counts};
+use parscan::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(17);
+    let communities = 4usize;
+    let size = 30usize;
+    let n_bridges = 3usize;
+    let n_pendants = 5usize;
+    let n = communities * size + n_bridges + n_pendants;
+
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    // Dense communities (each ~60% of a clique).
+    for c in 0..communities {
+        let base = (c * size) as u32;
+        for i in 0..size as u32 {
+            for j in (i + 1)..size as u32 {
+                if rng.gen_bool(0.6) {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    // Bridge vertices: each connects sparsely into *every* community.
+    let bridge_base = (communities * size) as u32;
+    for b in 0..n_bridges as u32 {
+        for c in 0..communities {
+            let base = (c * size) as u32;
+            for _ in 0..2 {
+                edges.push((bridge_base + b, base + rng.gen_range(0..size as u32)));
+            }
+        }
+    }
+    // Pendant vertices: one random attachment each.
+    let pendant_base = bridge_base + n_bridges as u32;
+    for p in 0..n_pendants as u32 {
+        edges.push((pendant_base + p, rng.gen_range(0..(communities * size) as u32)));
+    }
+
+    let g = parscan::graph::from_edges(n, &edges);
+    println!(
+        "graph: {} vertices ({} community + {} bridge + {} pendant), {} edges",
+        n,
+        communities * size,
+        n_bridges,
+        n_pendants,
+        g.num_edges()
+    );
+
+    let index = ScanIndex::build(g, IndexConfig::default());
+    let clustering = index.cluster(QueryParams::new(4, 0.55));
+    let roles = classify_roles(index.graph(), &clustering);
+
+    println!(
+        "clusters: {}  |  {:?}",
+        clustering.num_clusters(),
+        role_counts(&roles)
+    );
+    for b in 0..n_bridges as u32 {
+        println!(
+            "bridge vertex {} → {:?}",
+            bridge_base + b,
+            roles[(bridge_base + b) as usize]
+        );
+    }
+    for p in 0..n_pendants as u32 {
+        println!(
+            "pendant vertex {} → {:?}",
+            pendant_base + p,
+            roles[(pendant_base + p) as usize]
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Parameter exploration — the paper's motivating workload (§1): users of
+//! SCAN "often explore many parameter settings to find good clusterings",
+//! so precomputing an index that answers every (μ, ε) quickly beats
+//! re-running SCAN per setting.
+//!
+//! This example builds the index once, sweeps a (μ, ε) grid, scores every
+//! clustering by modularity, and reports the best — then shows what the
+//! same sweep costs without the index (re-running pruned SCAN per query).
+//!
+//! Run with: `cargo run --release --example parameter_exploration`
+
+use parscan::baselines::ppscan_parallel;
+use parscan::metrics::modularity;
+use parscan::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let (g, _) = parscan::graph::generators::planted_partition(4000, 25, 18.0, 2.0, 11);
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Grid in the spirit of Σ (Equation 1), coarsened for the demo.
+    let mut grid = Vec::new();
+    for mu in [2u32, 4, 8, 16, 32] {
+        for e in 1..=18 {
+            grid.push(QueryParams::new(mu, e as f32 * 0.05));
+        }
+    }
+    println!("sweeping {} parameter settings", grid.len());
+
+    // Index path: one construction, then cheap output-sensitive queries.
+    let t0 = Instant::now();
+    let index = ScanIndex::build(g.clone(), IndexConfig::default());
+    let t_build = t0.elapsed();
+    let t0 = Instant::now();
+    let mut best = (f64::NEG_INFINITY, grid[0]);
+    for &params in &grid {
+        let c = index.cluster_with(params, BorderAssignment::MostSimilar);
+        if c.num_clusters() == 0 {
+            continue;
+        }
+        let q = modularity(&g, &c.labels_with_singletons());
+        if q > best.0 {
+            best = (q, params);
+        }
+    }
+    let t_queries = t0.elapsed();
+    println!(
+        "index: build {:.2?}, {} queries in {:.2?} ({:.2?}/query)",
+        t_build,
+        grid.len(),
+        t_queries,
+        t_queries / grid.len() as u32
+    );
+    println!(
+        "best modularity {:.4} at (μ={}, ε={:.2})",
+        best.0, best.1.mu, best.1.epsilon
+    );
+
+    // Index-free path for comparison: every query pays similarity work.
+    let t0 = Instant::now();
+    for &params in grid.iter().take(10) {
+        std::hint::black_box(ppscan_parallel(
+            &g,
+            SimilarityMeasure::Cosine,
+            params.mu,
+            params.epsilon,
+        ));
+    }
+    let per_query = t0.elapsed() / 10;
+    println!(
+        "ppSCAN (no index): ~{:.2?}/query → full sweep would cost ~{:.2?}",
+        per_query,
+        per_query * grid.len() as u32
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a SCAN index, query a clustering, inspect roles.
+//!
+//! Uses the worked example from the paper (Figure 1): 11 vertices, two
+//! clusters, one hub, two outliers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parscan::core::hubs::{classify_roles, role_counts};
+use parscan::prelude::*;
+
+fn main() {
+    // The paper's Figure 1 graph (0-indexed: paper vertex i is i-1 here).
+    let g = parscan::graph::generators::paper_figure1();
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // Build the index once — this is the expensive part (similarities +
+    // neighbor order + core order), parallelized across all cores.
+    let index = ScanIndex::build(g, IndexConfig::default());
+
+    // Query any (μ, ε) cheaply. The paper's example uses μ=3, ε=0.6.
+    let clustering = index.cluster(QueryParams::new(3, 0.6));
+    println!("clusters found: {}", clustering.num_clusters());
+    for (label, members) in clustering.members() {
+        let paper_ids: Vec<u32> = members.iter().map(|v| v + 1).collect();
+        println!("  cluster {label}: paper vertices {paper_ids:?}");
+    }
+
+    // Classify the rest: hubs bridge clusters, outliers dangle.
+    let roles = classify_roles(index.graph(), &clustering);
+    for (v, role) in roles.iter().enumerate() {
+        match role {
+            VertexRole::Hub => println!("  paper vertex {} is a HUB", v + 1),
+            VertexRole::Outlier => println!("  paper vertex {} is an outlier", v + 1),
+            _ => {}
+        }
+    }
+    println!("role counts: {:?}", role_counts(&roles));
+
+    // The same index answers other parameter settings instantly.
+    for (mu, eps) in [(2u32, 0.5f32), (2, 0.8), (4, 0.6)] {
+        let c = index.cluster(QueryParams::new(mu, eps));
+        println!(
+            "(μ={mu}, ε={eps}): {} clusters, {} vertices clustered",
+            c.num_clusters(),
+            c.num_clustered()
+        );
+    }
+}

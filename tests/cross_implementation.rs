@@ -1,0 +1,135 @@
+//! Cross-implementation equivalence: the parallel index, the original
+//! sequential SCAN, the sequential GS*-Index, and both pruned-SCAN
+//! variants must produce the *same* SCAN clustering for equal parameters
+//! (identical cores and core labels; identical clustered-vertex sets —
+//! border labels may differ within SCAN's allowed ambiguity, §3.1).
+
+use parscan::baselines::{
+    original_scan, ppscan_parallel, pscan_sequential, scanxp_parallel, SequentialGsIndex,
+};
+use parscan::prelude::*;
+
+fn assert_equivalent(name: &str, want: &Clustering, got: &Clustering) {
+    assert_eq!(want.core, got.core, "{name}: core sets differ");
+    assert_eq!(
+        want.num_clusters(),
+        got.num_clusters(),
+        "{name}: cluster counts differ"
+    );
+    for v in 0..want.labels.len() {
+        if want.core[v] {
+            assert_eq!(want.labels[v], got.labels[v], "{name}: core {v} label");
+        }
+        assert_eq!(
+            want.labels[v] == UNCLUSTERED,
+            got.labels[v] == UNCLUSTERED,
+            "{name}: membership of vertex {v}"
+        );
+        if got.labels[v] != UNCLUSTERED && !got.core[v] {
+            // A border's label must be the label of one of its clusters'
+            // cores — checked indirectly: the label must name a vertex
+            // that is a clustered core with that same label.
+            let rep = got.labels[v] as usize;
+            assert!(got.core[rep], "{name}: border {v} labeled by non-core");
+            assert_eq!(got.labels[rep], got.labels[v]);
+        }
+    }
+}
+
+fn full_grid_check(g: &parscan::graph::CsrGraph, measure: SimilarityMeasure) {
+    let index = ScanIndex::build(g.clone(), IndexConfig::with_measure(measure));
+    let gs = SequentialGsIndex::build(g, measure);
+    for mu in [2u32, 3, 4, 8, 16] {
+        for eps in [0.05f32, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
+            let want = original_scan(g, measure, mu, eps);
+            let got_index = index.cluster(QueryParams::new(mu, eps));
+            assert_equivalent("parallel-index", &want, &got_index);
+            let got_ms = index.cluster_with(
+                QueryParams::new(mu, eps),
+                BorderAssignment::MostSimilar,
+            );
+            assert_equivalent("parallel-index-most-similar", &want, &got_ms);
+            let got_gs = gs.query(mu, eps);
+            assert_equivalent("gs-index", &want, &got_gs);
+            let got_pscan = pscan_sequential(g, measure, mu, eps);
+            assert_equivalent("pscan", &want, &got_pscan);
+            let got_ppscan = ppscan_parallel(g, measure, mu, eps);
+            assert_equivalent("ppscan", &want, &got_ppscan);
+            let got_xp = scanxp_parallel(g, measure, mu, eps);
+            assert_equivalent("scanxp", &want, &got_xp);
+        }
+    }
+}
+
+#[test]
+fn all_implementations_agree_on_random_graphs() {
+    for seed in [1u64, 2] {
+        let g = parscan::graph::generators::erdos_renyi(250, 1800, seed);
+        full_grid_check(&g, SimilarityMeasure::Cosine);
+    }
+}
+
+#[test]
+fn all_implementations_agree_on_clustered_graphs() {
+    let (g, _) = parscan::graph::generators::planted_partition(300, 6, 10.0, 1.0, 3);
+    full_grid_check(&g, SimilarityMeasure::Cosine);
+}
+
+#[test]
+fn all_implementations_agree_on_skewed_graphs() {
+    let g = parscan::graph::generators::rmat(9, 8, 4);
+    full_grid_check(&g, SimilarityMeasure::Cosine);
+}
+
+#[test]
+fn all_implementations_agree_with_jaccard() {
+    let (g, _) = parscan::graph::generators::planted_partition(200, 8, 9.0, 1.0, 5);
+    full_grid_check(&g, SimilarityMeasure::Jaccard);
+}
+
+#[test]
+fn weighted_index_matches_original_scan() {
+    // Weighted graphs: only our implementations support them (the
+    // baselines reject, as in the paper) — compare index vs original SCAN.
+    let (g, _) = parscan::graph::generators::weighted_planted_partition(250, 5, 12.0, 1.5, 7);
+    let index = ScanIndex::build(g.clone(), IndexConfig::default());
+    for mu in [2u32, 3, 6] {
+        for eps in [0.2f32, 0.4, 0.6, 0.8] {
+            let want = original_scan(&g, SimilarityMeasure::Cosine, mu, eps);
+            let got = index.cluster(QueryParams::new(mu, eps));
+            assert_equivalent("weighted-index", &want, &got);
+        }
+    }
+}
+
+#[test]
+fn clustering_is_invariant_under_relabeling() {
+    // Permuting vertex ids must permute the clustering accordingly.
+    let (g, _) = parscan::graph::generators::planted_partition(150, 5, 9.0, 1.0, 9);
+    let n = g.num_vertices();
+    // Deterministic permutation: reverse.
+    let perm: Vec<u32> = (0..n as u32).rev().collect();
+    let h = parscan::graph::builder::relabel(&g, &perm);
+
+    let ig = ScanIndex::build(g, IndexConfig::default());
+    let ih = ScanIndex::build(h, IndexConfig::default());
+    let params = QueryParams::new(3, 0.5);
+    let cg = ig.cluster_with(params, BorderAssignment::MostSimilar);
+    let ch = ih.cluster_with(params, BorderAssignment::MostSimilar);
+
+    for v in 0..n {
+        let pv = perm[v] as usize;
+        assert_eq!(cg.core[v], ch.core[pv], "core flag of {v}");
+        assert_eq!(
+            cg.labels[v] == UNCLUSTERED,
+            ch.labels[pv] == UNCLUSTERED,
+            "membership of {v}"
+        );
+    }
+    // Cluster structure is isomorphic: same multiset of cluster sizes.
+    let mut sizes_g: Vec<usize> = cg.members().values().map(Vec::len).collect();
+    let mut sizes_h: Vec<usize> = ch.members().values().map(Vec::len).collect();
+    sizes_g.sort_unstable();
+    sizes_h.sort_unstable();
+    assert_eq!(sizes_g, sizes_h);
+}

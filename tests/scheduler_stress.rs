@@ -1,0 +1,121 @@
+//! Stress tests for the two parallel substrates — the flat chunk-claiming
+//! pool and the nested work-stealing fork-join scheduler — including their
+//! coexistence, which production code exercises whenever a fork-join
+//! algorithm runs in a process that also uses the flat primitives.
+
+use parscan::parallel::fork_join::join;
+use parscan::parallel::primitives::{par_for, reduce};
+use parscan::parallel::quicksort::par_quicksort;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn flat_pool_and_fork_join_interleave() {
+    // Alternate work between the two schedulers many times; both must
+    // produce exact results regardless of which worker sets are warm.
+    for round in 0..20u64 {
+        let n = 10_000 + round as usize * 100;
+        let flat_sum = reduce(n, 1024, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(flat_sum, (n as u64 * (n as u64 - 1)) / 2);
+
+        fn fj_sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 512 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| fj_sum(lo, mid), || fj_sum(mid, hi));
+            a + b
+        }
+        assert_eq!(fj_sum(0, n as u64), flat_sum);
+    }
+}
+
+#[test]
+fn fork_join_called_from_flat_pool_worker() {
+    // A flat-parallel chunk body invoking `join` takes the external path
+    // (the flat worker is not a fork-join worker): the work is injected
+    // into the fork-join scheduler and completed. This must not deadlock
+    // even with every flat worker doing it simultaneously.
+    let total = AtomicU64::new(0);
+    par_for(64, 1, |i| {
+        let (a, b) = join(move || i as u64 * 2, move || i as u64 + 1);
+        total.fetch_add(a + b, Ordering::Relaxed);
+    });
+    let want: u64 = (0..64u64).map(|i| 2 * i + i + 1).sum();
+    assert_eq!(total.load(Ordering::Relaxed), want);
+}
+
+#[test]
+fn flat_primitives_called_inside_fork_join_workers() {
+    // The converse nesting: fork-join tasks calling flat primitives. The
+    // flat pool treats fork-join workers as external submitters, so this
+    // composes (serialized on the flat pool's submit lock).
+    fn recurse(depth: u32) -> u64 {
+        if depth == 0 {
+            return reduce(1000, 128, 0u64, |i| i as u64, |a, b| a + b);
+        }
+        let (a, b) = join(|| recurse(depth - 1), || recurse(depth - 1));
+        a + b
+    }
+    let leaf = 999 * 1000 / 2;
+    assert_eq!(recurse(4), 16 * leaf);
+}
+
+#[test]
+fn quicksort_stress_many_shapes() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    for len in [0usize, 1, 2, 2_047, 2_048, 2_049, 50_000] {
+        // Random, sorted, reversed, and saw-tooth inputs at boundary sizes
+        // around the sequential cutoff.
+        let random: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
+        let sorted: Vec<u64> = (0..len as u64).collect();
+        let reversed: Vec<u64> = (0..len as u64).rev().collect();
+        let saw: Vec<u64> = (0..len as u64).map(|i| i % 17).collect();
+        for data in [random, sorted, reversed, saw] {
+            let mut got = data.clone();
+            let mut want = data;
+            par_quicksort(&mut got);
+            want.sort_unstable();
+            assert_eq!(got, want, "len {len}");
+        }
+    }
+}
+
+#[test]
+fn deep_unbalanced_fork_join_trees() {
+    // A left-leaning spine: each level pushes exactly one stealable task.
+    // Exercises the reclaim path heavily and the helper loop occasionally.
+    fn spine(depth: u64) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = join(|| spine(depth - 1), || depth);
+        a + b
+    }
+    // 1 + Σ 1..=512
+    assert_eq!(spine(512), 1 + 512 * 513 / 2);
+}
+
+#[test]
+fn concurrent_queries_against_shared_index() {
+    // Many OS threads querying one index while the flat pool serves each
+    // query's internal parallelism — the "analyst dashboard" workload.
+    use parscan::prelude::*;
+    let (g, _) = parscan::graph::generators::planted_partition(2_000, 10, 12.0, 1.0, 13);
+    let index = ScanIndex::build(g, IndexConfig::default());
+    let reference: Vec<Clustering> = (2..6u32)
+        .map(|mu| index.cluster_with(QueryParams::new(mu, 0.3), BorderAssignment::MostSimilar))
+        .collect();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for (i, mu) in (2..6u32).enumerate() {
+                    let c = index
+                        .cluster_with(QueryParams::new(mu, 0.3), BorderAssignment::MostSimilar);
+                    assert_eq!(c, reference[i]);
+                }
+            });
+        }
+    });
+}
