@@ -155,9 +155,7 @@ pub fn approx_similarities(g: &CsrGraph, config: &ApproxConfig) -> EdgeSimilarit
                         norms[u as usize],
                         norms[v as usize],
                     ) as f32,
-                    None => {
-                        measure.score_unweighted(open as u64, g.degree(u), g.degree(v)) as f32
-                    }
+                    None => measure.score_unweighted(open as u64, g.degree(u), g.degree(v)) as f32,
                 }
             };
             // SAFETY: one writer per canonical slot.

@@ -185,8 +185,7 @@ fn densify_rotation(sketch: &mut [u32]) {
                 let src = (j + dist) % k;
                 if filled[src] != EMPTY_BUCKET {
                     // Tag with distance so different borrow distances differ.
-                    sketch[j] = filled[src]
-                        .wrapping_add((dist as u32).wrapping_mul(0x9e37_79b9))
+                    sketch[j] = filled[src].wrapping_add((dist as u32).wrapping_mul(0x9e37_79b9))
                         & 0x7fff_ffff;
                     break;
                 }

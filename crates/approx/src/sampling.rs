@@ -167,16 +167,9 @@ pub fn sampled_similarities_for(
             let est = open * inv_p;
             let score = match &norms {
                 Some(norms) => measure
-                    .score_weighted(
-                        est,
-                        g.slot_weight(s) as f64,
-                        norms[u],
-                        norms[v as usize],
-                    )
+                    .score_weighted(est, g.slot_weight(s) as f64, norms[u], norms[v as usize])
                     .clamp(0.0, 1.0) as f32,
-                None => {
-                    measure.score_unweighted_estimate(est, g.degree(uu), g.degree(v)) as f32
-                }
+                None => measure.score_unweighted_estimate(est, g.degree(uu), g.degree(v)) as f32,
             };
             // SAFETY: one writer per canonical slot.
             unsafe { ptr.write(s, score) };
@@ -313,14 +306,10 @@ mod tests {
         let params = QueryParams::new(3, 0.3);
         let approx_c = index.cluster(params);
         let exact_c = exact.cluster(params);
-        let ari_exact = parscan_metrics::adjusted_rand_index(
-            &exact_c.labels_with_singletons(),
-            &truth,
-        );
-        let ari_sampled = parscan_metrics::adjusted_rand_index(
-            &approx_c.labels_with_singletons(),
-            &truth,
-        );
+        let ari_exact =
+            parscan_metrics::adjusted_rand_index(&exact_c.labels_with_singletons(), &truth);
+        let ari_sampled =
+            parscan_metrics::adjusted_rand_index(&approx_c.labels_with_singletons(), &truth);
         assert!(
             ari_sampled > 0.5 * ari_exact,
             "sampled ARI {ari_sampled} too far below exact {ari_exact}"
@@ -345,10 +334,6 @@ mod tests {
     #[should_panic(expected = "cannot score weighted")]
     fn rejects_weighted_jaccard() {
         let (g, _) = generators::weighted_planted_partition(40, 2, 4.0, 1.0, 2);
-        sampled_similarities_for(
-            &g,
-            &SamplingConfig::default(),
-            SimilarityMeasure::Jaccard,
-        );
+        sampled_similarities_for(&g, &SamplingConfig::default(), SimilarityMeasure::Jaccard);
     }
 }

@@ -86,7 +86,7 @@ impl SimHashSketches {
                 }
             }
             // SAFETY: each task owns exactly one output word.
-            unsafe { ptr.write(idx as usize * words_per_sketch + word_i, word) };
+            unsafe { ptr.write(idx * words_per_sketch + word_i, word) };
         });
 
         SimHashSketches {

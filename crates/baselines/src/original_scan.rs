@@ -60,10 +60,7 @@ pub fn original_scan(
     // Phase 2: core detection.
     let is_core: Vec<bool> = (0..n as VertexId)
         .map(|v| {
-            let similar = g
-                .slot_range(v)
-                .filter(|&s| sims[s] >= epsilon)
-                .count();
+            let similar = g.slot_range(v).filter(|&s| sims[s] >= epsilon).count();
             similar + 1 >= mu as usize
         })
         .collect();

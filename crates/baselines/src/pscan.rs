@@ -58,7 +58,9 @@ impl<'g> Memo<'g> {
         Memo {
             g,
             measure,
-            cache: (0..g.num_slots()).map(|_| AtomicU32::new(UNCOMPUTED)).collect(),
+            cache: (0..g.num_slots())
+                .map(|_| AtomicU32::new(UNCOMPUTED))
+                .collect(),
         }
     }
 
@@ -269,10 +271,8 @@ mod tests {
     fn bounds_are_valid() {
         // Lower ≤ exact ≤ upper on a real graph.
         let g = generators::erdos_renyi(120, 900, 8);
-        let exact = parscan_core::similarity_exact::compute_full_merge(
-            &g,
-            SimilarityMeasure::Cosine,
-        );
+        let exact =
+            parscan_core::similarity_exact::compute_full_merge(&g, SimilarityMeasure::Cosine);
         for (u, v, slot) in g.canonical_edges() {
             let (lo, hi) = bounds(SimilarityMeasure::Cosine, g.degree(u), g.degree(v));
             let s = exact.slot(slot) as f64;

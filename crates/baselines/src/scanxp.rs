@@ -154,10 +154,7 @@ mod tests {
         let c = scanxp_parallel(&g, SimilarityMeasure::Cosine, 3, 0.5);
         assert_eq!(c.labels.len(), 150);
         // Must agree with the index path's cores.
-        let idx = parscan_core::ScanIndex::build(
-            g,
-            parscan_core::IndexConfig::default(),
-        );
+        let idx = parscan_core::ScanIndex::build(g, parscan_core::IndexConfig::default());
         let want = idx.cluster(parscan_core::QueryParams::new(3, 0.5));
         assert_eq!(c.core, want.core);
     }

@@ -7,9 +7,7 @@
 //! materialization overhead dominates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use parscan_core::{
-    CoreConnectivity, IndexConfig, QueryOptions, QueryParams, ScanIndex,
-};
+use parscan_core::{CoreConnectivity, IndexConfig, QueryOptions, QueryParams, ScanIndex};
 use parscan_parallel::connectivity::connected_components;
 use parscan_parallel::union_find::ConcurrentUnionFind;
 use parscan_parallel::utils::hash64;
@@ -32,20 +30,17 @@ fn bench_query_backends(c: &mut Criterion) {
                 )
             })
         });
-        group.bench_function(
-            BenchmarkId::new("materialized", format!("eps{eps}")),
-            |b| {
-                b.iter(|| {
-                    index.cluster_with_opts(
-                        params,
-                        QueryOptions {
-                            connectivity: CoreConnectivity::Materialized,
-                            ..Default::default()
-                        },
-                    )
-                })
-            },
-        );
+        group.bench_function(BenchmarkId::new("materialized", format!("eps{eps}")), |b| {
+            b.iter(|| {
+                index.cluster_with_opts(
+                    params,
+                    QueryOptions {
+                        connectivity: CoreConnectivity::Materialized,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
     }
     group.finish();
 }

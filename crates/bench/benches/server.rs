@@ -1,0 +1,194 @@
+//! Serving-layer benchmark: queries/sec cold vs. cache-hot, batch vs.
+//! sequential execution, and TCP round-trip latency on the hot path.
+//!
+//! Run with `cargo bench -p parscan-bench --bench server`. Scale the
+//! input with `PARSCAN_SCALE` (default 1.0). Emits a human-readable
+//! table on stdout plus a JSON summary written to `BENCH_server.json`
+//! (override with `PARSCAN_BENCH_OUT`) for cross-run tracking.
+
+use parscan_core::{BorderAssignment, IndexConfig, QueryOptions, QueryParams, ScanIndex};
+use parscan_graph::generators;
+use parscan_server::{serve, BatchExecutor, EngineConfig, QueryEngine, Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn scale() -> f64 {
+    std::env::var("PARSCAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The benchmark's (μ, ε) workload: a parameter-exploration grid.
+fn grid() -> Vec<QueryParams> {
+    let mut points = Vec::new();
+    for mu in [2u32, 3, 4, 5, 8] {
+        for i in 1..=8 {
+            points.push(QueryParams::new(mu, i as f32 / 9.0));
+        }
+    }
+    points
+}
+
+fn secs<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed().as_secs_f64(), value)
+}
+
+fn main() {
+    let n = (4000.0 * scale()) as usize;
+    let (g, _) = generators::planted_partition(n, 16, 12.0, 1.5, 7);
+    let m = g.num_edges();
+    let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
+    let engine = Arc::new(QueryEngine::new(
+        Arc::clone(&index),
+        EngineConfig {
+            cache_capacity: 256,
+            ..Default::default()
+        },
+    ));
+    let points = grid();
+    println!(
+        "server bench: n={n} m={m} points={} breakpoints={}",
+        points.len(),
+        engine.num_breakpoints()
+    );
+
+    // --- Cold vs. cache-hot queries/sec -------------------------------
+    engine.clear_cache();
+    let (cold_secs, _) = secs(|| {
+        for &p in &points {
+            std::hint::black_box(engine.cluster(p));
+        }
+    });
+    let (hot_secs, _) = secs(|| {
+        for &p in &points {
+            std::hint::black_box(engine.cluster(p));
+        }
+    });
+    let qps_cold = points.len() as f64 / cold_secs;
+    let qps_hot = points.len() as f64 / hot_secs;
+    let hot_speedup = qps_hot / qps_cold;
+    println!(
+        "cold {:>10.1} q/s   cache-hot {:>10.1} q/s   speedup {:.1}x",
+        qps_cold, qps_hot, hot_speedup
+    );
+
+    // --- Label-only vs. full query (the core cheap path) ---------------
+    // `cluster_labels` skips the Clustering wrapper (cluster-count
+    // reduction); measure what that saves per uncached query.
+    let opts = QueryOptions {
+        border: BorderAssignment::MostSimilar,
+        ..Default::default()
+    };
+    let (full_secs, _) = secs(|| {
+        for &p in &points {
+            std::hint::black_box(index.cluster_with_opts(p, opts));
+        }
+    });
+    let (labels_secs, _) = secs(|| {
+        for &p in &points {
+            std::hint::black_box(index.cluster_labels(p, opts));
+        }
+    });
+    let labels_speedup = full_secs / labels_secs;
+    println!(
+        "direct full {:.3}s   labels-only {:.3}s   speedup {:.2}x",
+        full_secs, labels_secs, labels_speedup
+    );
+
+    // --- Batch vs. sequential execution -------------------------------
+    // A workload with 3x duplication (every point requested three times).
+    // Both runs start cold; the batch executor deduplicates up front and
+    // runs the distinct queries as one flat parallel job, while the
+    // sequential loop pays per-request dispatch and hits the cache for
+    // duplicates.
+    let workload: Vec<Request> = points
+        .iter()
+        .cycle()
+        .take(points.len() * 3)
+        .map(|&params| Request::Cluster {
+            params,
+            full: false,
+        })
+        .collect();
+
+    engine.clear_cache();
+    let (seq_secs, _) = secs(|| {
+        for req in &workload {
+            let Request::Cluster { params, .. } = req else {
+                unreachable!()
+            };
+            std::hint::black_box(engine.cluster(*params));
+        }
+    });
+    engine.clear_cache();
+    let (batch_secs, responses) =
+        secs(|| BatchExecutor::new(&engine).execute(&workload, || Response::Pong));
+    assert_eq!(responses.len(), workload.len());
+    let batch_speedup = seq_secs / batch_secs;
+    println!(
+        "sequential {:.3}s   batched {:.3}s   speedup {:.2}x ({} requests, {} distinct)",
+        seq_secs,
+        batch_secs,
+        batch_speedup,
+        workload.len(),
+        points.len()
+    );
+
+    // --- TCP round-trip latency on the hot path -----------------------
+    let server = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    // Warm the connection and the cache entry.
+    stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    const RTT_ROUNDS: usize = 200;
+    let (rtt_secs, _) = secs(|| {
+        for _ in 0..RTT_ROUNDS {
+            stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+        }
+    });
+    let rtt_micros = rtt_secs / RTT_ROUNDS as f64 * 1e6;
+    println!("tcp hot round-trip {rtt_micros:.1}µs/query");
+    stream.write_all(b"QUIT\n").unwrap();
+    server.shutdown();
+
+    let stats = engine.stats();
+    let json = format!(
+        concat!(
+            r#"{{"bench":"server","n":{},"m":{},"points":{},"#,
+            r#""qps_cold":{:.2},"qps_hot":{:.2},"hot_speedup":{:.2},"#,
+            r#""seq_secs":{:.6},"batch_secs":{:.6},"batch_speedup":{:.3},"#,
+            r#""labels_only_speedup":{:.3},"#,
+            r#""tcp_hot_rtt_micros":{:.2},"cache_hit_rate":{:.4}}}"#
+        ),
+        n,
+        m,
+        points.len(),
+        qps_cold,
+        qps_hot,
+        hot_speedup,
+        seq_secs,
+        batch_secs,
+        batch_speedup,
+        labels_speedup,
+        rtt_micros,
+        stats.hit_rate(),
+    );
+    println!("{json}");
+    let out = std::env::var("PARSCAN_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("warning: cannot write {out}: {e}");
+    } else {
+        println!("wrote {out}");
+    }
+}

@@ -3,9 +3,7 @@
 //! phase. The paper picked merge-based after the same comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parscan_core::similarity_exact::{
-    compute_full_merge, compute_hash_based, compute_merge_based,
-};
+use parscan_core::similarity_exact::{compute_full_merge, compute_hash_based, compute_merge_based};
 use parscan_core::SimilarityMeasure;
 use parscan_dense::compute_similarities_mm;
 use parscan_graph::generators;

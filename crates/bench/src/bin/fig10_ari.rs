@@ -34,10 +34,7 @@ fn main() {
                 SimilarityMeasure::Jaccard,
             ));
         }
-        println!(
-            "{:<28} {:>8} {:>12} {:>8}",
-            "method", "k", "build", "ARI"
-        );
+        println!("{:<28} {:>8} {:>12} {:>8}", "method", "k", "build", "ARI");
         for (method, measure) in setups {
             // Exact "ground truth" clustering at its best grid parameters.
             let exact = ScanIndex::build(g.clone(), IndexConfig::with_measure(measure));
@@ -54,8 +51,7 @@ fn main() {
                     degree_heuristic: true,
                     sort: SortStrategy::Integer,
                 };
-                let (t_build, index) =
-                    timing::time_once(|| build_approx_index(g.clone(), config));
+                let (t_build, index) = timing::time_once(|| build_approx_index(g.clone(), config));
                 let approx = index
                     .cluster_with(best, BorderAssignment::MostSimilar)
                     .labels_with_singletons();

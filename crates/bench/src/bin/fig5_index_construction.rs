@@ -18,7 +18,10 @@ use parscan_parallel::pool;
 
 fn main() {
     let max_threads = pool::max_threads();
-    println!("Figure 5: index construction, exact cosine ({} threads)", max_threads);
+    println!(
+        "Figure 5: index construction, exact cosine ({} threads)",
+        max_threads
+    );
     println!(
         "{:<16} {:>14} {:>14} {:>14} {:>14} {:>9} {:>9}",
         "graph", "par", "1-thread", "GS*-Index", "par-MM", "par/GS*", "self-rel"

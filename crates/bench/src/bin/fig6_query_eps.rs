@@ -21,7 +21,12 @@ fn main() {
         let g = &d.graph;
         let index = ScanIndex::build(g.clone(), IndexConfig::default());
         let gs = (!g.is_weighted()).then(|| SequentialGsIndex::build(g, SimilarityMeasure::Cosine));
-        println!("\n== {} (n={}, m={})", d.name, g.num_vertices(), g.num_edges());
+        println!(
+            "\n== {} (n={}, m={})",
+            d.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         println!(
             "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
             "ε", "par", "1-thread", "GS*-Index", "ppSCAN", "SCAN-XP", "#clusters"

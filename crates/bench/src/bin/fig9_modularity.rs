@@ -18,7 +18,10 @@ fn sample_counts() -> Vec<usize> {
 }
 
 fn main() {
-    println!("Figure 9: construction time vs best grid modularity (Σ, ε step {})", params::eps_step());
+    println!(
+        "Figure 9: construction time vs best grid modularity (Σ, ε step {})",
+        params::eps_step()
+    );
     for d in datasets::datasets() {
         let g = &d.graph;
         println!("\n== {}", d.name);
@@ -64,8 +67,7 @@ fn main() {
                     degree_heuristic: true,
                     sort: SortStrategy::Integer,
                 };
-                let (t_build, index) =
-                    timing::time_once(|| build_approx_index(g.clone(), config));
+                let (t_build, index) = timing::time_once(|| build_approx_index(g.clone(), config));
                 let (q, _) = params::best_modularity(&index);
                 println!(
                     "{:<28} {:>8} {:>12} {:>12.4}",

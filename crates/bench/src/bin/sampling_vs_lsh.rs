@@ -11,16 +11,19 @@
 use parscan_approx::sampling::{build_sampled_index, SamplingConfig};
 use parscan_approx::{build_approx_index, ApproxConfig, ApproxMethod};
 use parscan_bench::{datasets, params, timing};
-use parscan_core::{
-    BorderAssignment, IndexConfig, ScanIndex, SimilarityMeasure, SortStrategy,
-};
+use parscan_core::{BorderAssignment, IndexConfig, ScanIndex, SimilarityMeasure, SortStrategy};
 use parscan_metrics::adjusted_rand_index;
 
 fn main() {
     println!("Sampling (LinkSCAN*-style) vs LSH (SimHash): construction time / quality");
     for d in datasets::datasets() {
         let g = &d.graph;
-        println!("\n== {} (n={}, m={})", d.name, g.num_vertices(), g.num_edges());
+        println!(
+            "\n== {} (n={}, m={})",
+            d.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
 
         // Exact reference: construction time, best grid point, clustering.
         let config = IndexConfig {
@@ -73,7 +76,15 @@ fn main() {
                     SimilarityMeasure::Cosine,
                 )
             });
-            report(&index, g, &exact_labels, best, "sampling", &format!("{p}"), t);
+            report(
+                &index,
+                g,
+                &exact_labels,
+                best,
+                "sampling",
+                &format!("{p}"),
+                t,
+            );
         }
     }
 }

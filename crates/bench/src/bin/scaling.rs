@@ -11,7 +11,12 @@ fn main() {
     println!("Self-relative scaling sweep (max {max_threads} threads)");
     for d in datasets::datasets() {
         let g = &d.graph;
-        println!("\n== {} (n={}, m={})", d.name, g.num_vertices(), g.num_edges());
+        println!(
+            "\n== {} (n={}, m={})",
+            d.name,
+            g.num_vertices(),
+            g.num_edges()
+        );
         println!(
             "{:>8} {:>14} {:>9} {:>14} {:>9}",
             "threads", "construction", "speedup", "query(5,.6)", "speedup"

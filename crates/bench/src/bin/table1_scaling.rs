@@ -17,10 +17,22 @@ fn main() {
         "strategy", "scale", "m", "time", "ns/edge"
     );
     for (exact, sort, label) in [
-        (ExactStrategy::MergeBased, SortStrategy::Integer, "merge+int"),
-        (ExactStrategy::MergeBased, SortStrategy::Comparison, "merge+cmp"),
+        (
+            ExactStrategy::MergeBased,
+            SortStrategy::Integer,
+            "merge+int",
+        ),
+        (
+            ExactStrategy::MergeBased,
+            SortStrategy::Comparison,
+            "merge+cmp",
+        ),
         (ExactStrategy::HashBased, SortStrategy::Integer, "hash+int"),
-        (ExactStrategy::HashBased, SortStrategy::Comparison, "hash+cmp"),
+        (
+            ExactStrategy::HashBased,
+            SortStrategy::Comparison,
+            "hash+cmp",
+        ),
     ] {
         for scale in [11u32, 12, 13, 14] {
             let g = generators::rmat(scale, 12, 0x7ab1e1 + scale as u64);

@@ -8,7 +8,10 @@ use parscan_bench::datasets;
 use parscan_graph::stats::graph_stats;
 
 fn main() {
-    println!("Table 2: benchmark graph summary (synthetic stand-ins; PARSCAN_SCALE={})", parscan_bench::datasets::scale());
+    println!(
+        "Table 2: benchmark graph summary (synthetic stand-ins; PARSCAN_SCALE={})",
+        parscan_bench::datasets::scale()
+    );
     println!(
         "{:<16} {:<13} {:>9} {:>11} {:>8} {:>9} {:>11} {:>6} {:<10}",
         "name", "paper graph", "n", "m", "avg deg", "max deg", "triangles", "degen", "type"

@@ -1,0 +1,258 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark
+//! harness with the same call surface the workspace's benches use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Unlike the real crate there is no statistical analysis: each
+//! benchmark is warmed up once, timed for `sample_size` iterations
+//! (default 10, override with `PARSCAN_BENCH_SAMPLES`), and the median
+//! per-iteration time is printed as one line. That keeps `cargo bench`
+//! meaningful for before/after comparisons while staying dependency-free.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How batched-iteration inputs are grouped; accepted for signature
+/// compatibility, ignored by this harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a displayed parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, filled by `iter`/`iter_batched`.
+    measured: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median of `samples` runs.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up run (also forces lazy initialization out of the timing).
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.record(times);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            times.push(start.elapsed().as_secs_f64());
+        }
+        self.record(times);
+    }
+
+    fn record(&mut self, mut times: Vec<f64>) {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.measured = Some(times[times.len() / 2]);
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{:8.2} s ", secs)
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("PARSCAN_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(10)
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample count maps onto our per-benchmark run count,
+    /// capped so shimmed `cargo bench` stays quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 25);
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        f(&mut b);
+        let time = b.measured.expect("benchmark must call iter()");
+        println!("bench {}/{:<40} {}", self.name, id.id, fmt_secs(time));
+        self
+    }
+
+    pub fn bench_with_input<P, I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            measured: None,
+        };
+        f(&mut b, input);
+        let time = b.measured.expect("benchmark must call iter()");
+        println!("bench {}/{:<40} {}", self.name, id.id, fmt_secs(time));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle (criterion's `Criterion`).
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group("top").bench_function(id, f);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_time_and_print() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..1000 * k).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![3u32, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert!(fmt_secs(2e-9).contains("ns"));
+        assert!(fmt_secs(2e-6).contains("µs"));
+        assert!(fmt_secs(2e-3).contains("ms"));
+        assert!(fmt_secs(2.0).trim_end().ends_with('s'));
+    }
+}

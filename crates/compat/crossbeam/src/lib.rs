@@ -1,0 +1,189 @@
+//! Offline stand-in for the `crossbeam` crate: the `deque` work-stealing
+//! primitives used by the fork-join scheduler, implemented over a locked
+//! `VecDeque` rather than a lock-free Chase–Lev buffer. Semantics match
+//! the real crate — owner pops LIFO from its own deque, thieves steal
+//! FIFO from the opposite end — which is what the scheduling discipline
+//! in `parscan_parallel::fork_join` relies on. The lock adds latency per
+//! operation but preserves every correctness property.
+
+pub mod deque {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Outcome of a steal attempt, matching `crossbeam::deque::Steal`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The worker-owned end of a deque. Push and pop share the back
+    /// (LIFO for the owner); thieves take from the front (FIFO).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn new_fifo() -> Self {
+            // With a locked deque the distinction only affects the owner's
+            // pop end; this workspace only uses the LIFO flavor.
+            Self::new_lifo()
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle other threads use to steal from a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    /// A shared FIFO queue external submitters inject tasks through.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, task: T) {
+            self.queue.lock().push_back(task);
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest
+        assert_eq!(w.pop(), Some(3)); // newest
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal().success(), Some("a"));
+        assert_eq!(inj.steal().success(), Some("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_stealers_drain_everything() {
+        let w = Worker::new_lifo();
+        for i in 0..10_000u64 {
+            w.push(i);
+        }
+        let total = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let total = &total;
+                scope.spawn(move || {
+                    while let Steal::Success(v) = s.steal() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            10_000 * 9_999 / 2
+        );
+    }
+}

@@ -44,6 +44,9 @@ impl CoreOrder {
     }
 
     /// Build the core order from the neighbor order.
+    // clippy::uninit_vec: the entries buffer is Copy and every slot is
+    // written by the disjoint per-vertex ranges before any read.
+    #[allow(clippy::uninit_vec)]
     pub fn build(g: &CsrGraph, no: &NeighborOrder, strategy: SortStrategy) -> Self {
         let n = g.num_vertices();
         let max_mu = g.max_degree() as u32 + 1; // closed degree
@@ -156,7 +159,11 @@ impl CoreOrder {
     ///
     /// # Panics
     /// Panics on misaligned arrays or non-monotone offsets.
-    pub fn from_parts(mu_offsets: Vec<usize>, vertices: Vec<VertexId>, thresholds: Vec<f32>) -> Self {
+    pub fn from_parts(
+        mu_offsets: Vec<usize>,
+        vertices: Vec<VertexId>,
+        thresholds: Vec<f32>,
+    ) -> Self {
         assert_eq!(
             vertices.len(),
             thresholds.len(),

@@ -46,7 +46,6 @@ impl BatchUpdate {
             insertions: Vec::new(),
         }
     }
-
 }
 
 /// Apply a batch of updates to an index, recomputing only affected
@@ -178,10 +177,7 @@ mod tests {
 
         let mut edges: Vec<(u32, u32)> = g.canonical_edges().map(|(u, v, _)| (u, v)).collect();
         edges.extend(new_edges.iter().filter(|&&(u, v)| u != v));
-        let rebuilt = ScanIndex::build(
-            parscan_graph::from_edges(200, &edges),
-            rebuild_config(),
-        );
+        let rebuilt = ScanIndex::build(parscan_graph::from_edges(200, &edges), rebuild_config());
         assert_eq!(updated.graph(), rebuilt.graph());
         assert_eq!(
             updated.similarities().as_slice(),
@@ -210,10 +206,7 @@ mod tests {
             .map(|(u, v, _)| (u, v))
             .filter(|e| !keep.contains(e))
             .collect();
-        let rebuilt = ScanIndex::build(
-            parscan_graph::from_edges(150, &edges),
-            rebuild_config(),
-        );
+        let rebuilt = ScanIndex::build(parscan_graph::from_edges(150, &edges), rebuild_config());
         assert_eq!(
             updated.similarities().as_slice(),
             rebuilt.similarities().as_slice()

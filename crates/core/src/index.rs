@@ -59,6 +59,14 @@ pub struct ScanIndex {
     measure: SimilarityMeasure,
 }
 
+// The serving layer keeps one `Arc<ScanIndex>` resident and answers many
+// clients' queries against it concurrently; queries borrow the index
+// immutably. Keep the index free of interior mutability so this stays true.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ScanIndex>();
+};
+
 impl std::fmt::Debug for ScanIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanIndex")
@@ -201,10 +209,7 @@ mod tests {
                     },
                 );
                 assert_eq!(idx.neighbor_order().validate(&g), Ok(()));
-                assert_eq!(
-                    idx.core_order().validate(&g, idx.neighbor_order()),
-                    Ok(())
-                );
+                assert_eq!(idx.core_order().validate(&g, idx.neighbor_order()), Ok(()));
                 // All strategies yield identical core sets at a fixed query.
                 let mut cores = idx.core_order().cores(3, 0.5).to_vec();
                 cores.sort_unstable();
@@ -219,14 +224,10 @@ mod tests {
     #[test]
     fn from_similarities_respects_injection() {
         let g = generators::path(4); // edges 0-1, 1-2, 2-3
-        // Inject constant similarities.
+                                     // Inject constant similarities.
         let sims = EdgeSimilarities::from_per_slot(vec![0.5; g.num_slots()]);
-        let idx = ScanIndex::from_similarities(
-            g,
-            sims,
-            SimilarityMeasure::Cosine,
-            SortStrategy::Integer,
-        );
+        let idx =
+            ScanIndex::from_similarities(g, sims, SimilarityMeasure::Cosine, SortStrategy::Integer);
         assert_eq!(idx.core_order().cores(2, 0.5).len(), 4);
         assert_eq!(idx.core_order().cores(2, 0.51).len(), 0);
     }

@@ -49,7 +49,9 @@ pub use core_order::CoreOrder;
 pub use doubling::doubling_search_prefix;
 pub use index::{ExactStrategy, IndexConfig, ScanIndex, SortStrategy};
 pub use neighbor_order::NeighborOrder;
-pub use query::{BorderAssignment, CoreConnectivity, QueryOptions, QueryParams};
+pub use query::{
+    BorderAssignment, CoreConnectivity, QueryOptions, QueryParamError, QueryParams, VertexProbe,
+};
 pub use similarity::SimilarityMeasure;
 pub use similarity_exact::EdgeSimilarities;
 pub use sweep::{sweep, sweep_with_best, SweepGrid, SweepPoint, SweepResult};

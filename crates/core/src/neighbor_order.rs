@@ -80,7 +80,11 @@ impl NeighborOrder {
             ((v << 32) | desc_bits, s as u32)
         });
         let n = g.num_vertices() as u64;
-        let max_key = if n == 0 { 0 } else { ((n - 1) << 32) | 0xffff_ffff };
+        let max_key = if n == 0 {
+            0
+        } else {
+            ((n - 1) << 32) | 0xffff_ffff
+        };
         par_radix_sort_by_key(&mut keyed, |e| e.0, Some(max_key));
         let nbr = par_map(slots, 8192, |k| g.slot_neighbor(keyed[k].1 as usize));
         let sim = par_map(slots, 8192, |k| sims.slot(keyed[k].1 as usize));

@@ -176,8 +176,8 @@ impl ScanIndex {
         if version != VERSION {
             return Err(bad(&format!("unsupported index version {version}")));
         }
-        let measure = measure_from_tag(cur.u8()?)
-            .ok_or_else(|| bad("unknown similarity-measure tag"))?;
+        let measure =
+            measure_from_tag(cur.u8()?).ok_or_else(|| bad("unknown similarity-measure tag"))?;
         let weighted = cur.u8()? != 0;
         let n = cur.len_u64()?;
         let slots = cur.len_u64()?;

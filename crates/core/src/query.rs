@@ -31,16 +31,52 @@ pub struct QueryParams {
     pub epsilon: f32,
 }
 
+/// Why a `(μ, ε)` pair is outside SCAN's parameter domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryParamError {
+    /// `μ < 2`: a "cluster" of one vertex is not a structural cluster.
+    MuTooSmall { mu: u32 },
+    /// `ε ∉ [0, 1]` (similarities are normalized scores), or `ε` is NaN.
+    EpsilonOutOfRange { epsilon: f32 },
+}
+
+impl std::fmt::Display for QueryParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryParamError::MuTooSmall { mu } => {
+                write!(f, "SCAN requires μ ≥ 2, got {mu}")
+            }
+            QueryParamError::EpsilonOutOfRange { epsilon } => {
+                write!(f, "ε must lie in [0, 1], got {epsilon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParamError {}
+
 impl QueryParams {
+    /// Validating constructor: `μ ≥ 2` and `ε ∈ [0, 1]` (the paper's
+    /// domain). The fallible entry point for parameters arriving from
+    /// CLIs, network clients, and other untrusted sources.
+    pub fn try_new(mu: u32, epsilon: f32) -> Result<Self, QueryParamError> {
+        if mu < 2 {
+            return Err(QueryParamError::MuTooSmall { mu });
+        }
+        // `contains` is false for NaN, rejecting it too.
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(QueryParamError::EpsilonOutOfRange { epsilon });
+        }
+        Ok(QueryParams { mu, epsilon })
+    }
+
     /// # Panics
     /// Panics unless `μ ≥ 2` and `ε ∈ [0, 1]` (the paper's domain).
     pub fn new(mu: u32, epsilon: f32) -> Self {
-        assert!(mu >= 2, "SCAN requires μ ≥ 2");
-        assert!(
-            (0.0..=1.0).contains(&epsilon),
-            "ε must lie in [0, 1], got {epsilon}"
-        );
-        QueryParams { mu, epsilon }
+        match Self::try_new(mu, epsilon) {
+            Ok(params) => params,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -101,6 +137,22 @@ impl ScanIndex {
 
     /// SCAN clustering with full control over query internals.
     pub fn cluster_with_opts(&self, params: QueryParams, opts: QueryOptions) -> Clustering {
+        let (labels, core_flag) = self.cluster_parts(params, opts);
+        Clustering::new(labels, core_flag)
+    }
+
+    /// Label-only clustering: the per-vertex cluster labels without the
+    /// [`Clustering`] wrapper — skipping its cluster-count reduction —
+    /// for callers (membership answers, serving layers) that only need
+    /// `labels[v]`. Identical label values to [`Self::cluster_with_opts`].
+    pub fn cluster_labels(&self, params: QueryParams, opts: QueryOptions) -> Vec<u32> {
+        self.cluster_parts(params, opts).0
+    }
+
+    /// Shared query engine behind [`Self::cluster_with_opts`] and
+    /// [`Self::cluster_labels`]: Algorithms 3–5 producing raw label and
+    /// core-flag arrays.
+    fn cluster_parts(&self, params: QueryParams, opts: QueryOptions) -> (Vec<u32>, Vec<bool>) {
         let g = self.graph();
         let no = self.neighbor_order();
         let n = g.num_vertices();
@@ -225,8 +277,45 @@ impl ScanIndex {
         }
 
         let labels: Vec<u32> = labels.into_iter().map(AtomicU32::into_inner).collect();
-        Clustering::new(labels, core_flag)
+        (labels, core_flag)
     }
+
+    /// A degree-bounded summary of one vertex at `(μ, ε)` — its closed
+    /// ε-neighborhood size, core flag, and the core it would attach to as
+    /// a border — answered from the index orders alone, without running
+    /// (or caching) a full clustering query. The cheap point-lookup path
+    /// the serving layer exposes.
+    pub fn probe_vertex(&self, v: VertexId, params: QueryParams) -> VertexProbe {
+        let g = self.graph();
+        let no = self.neighbor_order();
+        let (nbrs, _) = no.epsilon_prefix(g, v, params.epsilon);
+        let is_core = nbrs.len() + 1 >= params.mu as usize;
+        // The prefix is (similarity desc, id asc), so the first core hit
+        // is the most similar, lowest-id attachment — matching
+        // [`BorderAssignment::MostSimilar`].
+        let attach_core = nbrs.iter().copied().find(|&u| {
+            no.core_threshold(g, u, params.mu)
+                .is_some_and(|t| t >= params.epsilon)
+        });
+        VertexProbe {
+            eps_neighborhood: nbrs.len() + 1,
+            is_core,
+            attach_core,
+        }
+    }
+}
+
+/// Result of [`ScanIndex::probe_vertex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VertexProbe {
+    /// `|N̄_ε(v)|`, counting `v` itself.
+    pub eps_neighborhood: usize,
+    /// Whether `v` is a core at these parameters.
+    pub is_core: bool,
+    /// The most similar ε-similar core neighbor (self excluded), if any:
+    /// the cluster anchor for a border vertex. `None` for cores without
+    /// core neighbors and for unclustered vertices.
+    pub attach_core: Option<VertexId>,
 }
 
 #[cfg(test)]
@@ -304,10 +393,7 @@ mod tests {
     fn clustering_invariants_random_graphs() {
         for seed in [1u64, 5, 11] {
             let (g, _) = generators::planted_partition(500, 5, 10.0, 1.5, seed);
-            let idx = ScanIndex::build(
-                g,
-                IndexConfig::with_measure(SimilarityMeasure::Cosine),
-            );
+            let idx = ScanIndex::build(g, IndexConfig::with_measure(SimilarityMeasure::Cosine));
             for mu in [2u32, 3, 5] {
                 for eps in [0.3f32, 0.5, 0.7] {
                     let params = QueryParams::new(mu, eps);
@@ -322,8 +408,7 @@ mod tests {
     fn check_scan_invariants(idx: &ScanIndex, params: QueryParams, c: &Clustering) {
         let g = idx.graph();
         let no = idx.neighbor_order();
-        let cores: std::collections::HashSet<u32> =
-            idx.cores(params).iter().copied().collect();
+        let cores: std::collections::HashSet<u32> = idx.cores(params).iter().copied().collect();
         for v in 0..g.num_vertices() as u32 {
             // Core flag matches the ε-neighborhood definition.
             let eps_closed = 1 + no.epsilon_prefix(g, v, params.epsilon).0.len();
@@ -346,8 +431,9 @@ mod tests {
                 // Border: must be ε-similar to a core in its cluster.
                 let (nbrs, _) = no.epsilon_prefix(g, v, params.epsilon);
                 assert!(
-                    nbrs.iter().any(|&u| cores.contains(&u)
-                        && c.labels[u as usize] == c.labels[v as usize]),
+                    nbrs.iter().any(
+                        |&u| cores.contains(&u) && c.labels[u as usize] == c.labels[v as usize]
+                    ),
                     "border {v} lacks supporting core"
                 );
             } else {
@@ -473,5 +559,89 @@ mod tests {
     #[should_panic(expected = "ε must lie in")]
     fn rejects_bad_epsilon() {
         QueryParams::new(2, 1.5);
+    }
+
+    #[test]
+    fn try_new_validates_the_domain() {
+        assert_eq!(
+            QueryParams::try_new(3, 0.5),
+            Ok(QueryParams {
+                mu: 3,
+                epsilon: 0.5
+            })
+        );
+        assert_eq!(
+            QueryParams::try_new(1, 0.5),
+            Err(QueryParamError::MuTooSmall { mu: 1 })
+        );
+        assert_eq!(
+            QueryParams::try_new(0, 0.5),
+            Err(QueryParamError::MuTooSmall { mu: 0 })
+        );
+        assert!(matches!(
+            QueryParams::try_new(2, -0.1),
+            Err(QueryParamError::EpsilonOutOfRange { .. })
+        ));
+        assert!(matches!(
+            QueryParams::try_new(2, 1.01),
+            Err(QueryParamError::EpsilonOutOfRange { .. })
+        ));
+        assert!(matches!(
+            QueryParams::try_new(2, f32::NAN),
+            Err(QueryParamError::EpsilonOutOfRange { .. })
+        ));
+        // Boundary values are legal.
+        assert!(QueryParams::try_new(2, 0.0).is_ok());
+        assert!(QueryParams::try_new(2, 1.0).is_ok());
+        // Error messages match the panicking constructor's wording.
+        let msg = QueryParamError::MuTooSmall { mu: 1 }.to_string();
+        assert!(msg.contains("μ ≥ 2"), "{msg}");
+    }
+
+    #[test]
+    fn cluster_labels_match_full_query() {
+        let (g, _) = generators::planted_partition(300, 3, 10.0, 1.0, 19);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        for (mu, eps) in [(2u32, 0.3f32), (3, 0.5), (5, 0.7)] {
+            let params = QueryParams::new(mu, eps);
+            let opts = QueryOptions {
+                border: BorderAssignment::MostSimilar,
+                ..Default::default()
+            };
+            let full = idx.cluster_with_opts(params, opts);
+            let labels = idx.cluster_labels(params, opts);
+            assert_eq!(full.labels, labels, "μ={mu}, ε={eps}");
+        }
+    }
+
+    #[test]
+    fn probe_vertex_agrees_with_clustering() {
+        let (g, _) = generators::planted_partition(250, 5, 9.0, 1.5, 23);
+        let idx = ScanIndex::build(g, IndexConfig::default());
+        for (mu, eps) in [(2u32, 0.35f32), (4, 0.5)] {
+            let params = QueryParams::new(mu, eps);
+            let c = idx.cluster_with(params, BorderAssignment::MostSimilar);
+            for v in 0..idx.graph().num_vertices() as u32 {
+                let probe = idx.probe_vertex(v, params);
+                assert_eq!(probe.is_core, c.is_core(v), "core flag at {v}");
+                if probe.is_core {
+                    assert!(probe.eps_neighborhood >= mu as usize);
+                }
+                match probe.attach_core {
+                    Some(u) => {
+                        assert!(c.is_core(u), "attach target {u} must be a core");
+                        if !probe.is_core {
+                            // v is a border of u's cluster.
+                            assert_eq!(c.labels[v as usize], c.labels[u as usize]);
+                        }
+                    }
+                    None => {
+                        if !probe.is_core {
+                            assert!(!c.is_clustered(v), "borders have a core anchor");
+                        }
+                    }
+                }
+            }
+        }
     }
 }

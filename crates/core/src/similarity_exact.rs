@@ -68,12 +68,8 @@ fn atomic_f64_add(cell: &AtomicU64, add: f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = f64::from_bits(cur) + add;
-        match cell.compare_exchange_weak(
-            cur,
-            next.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(_) => return,
             Err(seen) => cur = seen,
         }
@@ -161,7 +157,11 @@ pub fn compute_hash_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimil
         finalize(g, measure, |s| {
             let u = g.slot_owner(s);
             let v = g.slot_neighbor(s);
-            let (small, large) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+            let (small, large) = if g.degree(u) <= g.degree(v) {
+                (u, v)
+            } else {
+                (v, u)
+            };
             let srange = g.slot_range(small);
             let sw = g.weights_of(small).expect("weighted");
             let mut dot = 0.0f64;
@@ -189,7 +189,11 @@ pub fn compute_hash_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimil
         finalize(g, measure, |s| {
             let u = g.slot_owner(s);
             let v = g.slot_neighbor(s);
-            let (small, large) = if g.degree(u) <= g.degree(v) { (u, v) } else { (v, u) };
+            let (small, large) = if g.degree(u) <= g.degree(v) {
+                (u, v)
+            } else {
+                (v, u)
+            };
             let mut common = 0u64;
             for &x in g.neighbors(small) {
                 if x != u && x != v && table.contains(((large as u64) << 32) | x as u64) {

@@ -264,10 +264,7 @@ mod tests {
         let (result, best) = sweep_with_best(&idx, &grid, quality_proxy);
         let expect = idx.cluster_with(result.best_params(), BorderAssignment::MostSimilar);
         assert_eq!(best, expect);
-        assert_eq!(
-            result.points[result.best].num_clusters,
-            best.num_clusters()
-        );
+        assert_eq!(result.points[result.best].num_clusters, best.num_clusters());
     }
 
     #[test]

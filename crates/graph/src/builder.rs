@@ -50,7 +50,10 @@ where
             },
             |a, b| a.max(b),
         );
-        assert!((max_id as usize) < n, "edge endpoint {max_id} out of range (n = {n})");
+        assert!(
+            (max_id as usize) < n,
+            "edge endpoint {max_id} out of range (n = {n})"
+        );
     }
 
     // Symmetrize: 2 directed entries per input edge; self-loops dropped.
@@ -86,8 +89,9 @@ where
         deduped.partition_point(|e| e.key < bound)
     });
 
-    let neighbors: Vec<VertexId> =
-        par_map(deduped.len(), 8192, |i| (deduped[i].key & 0xffff_ffff) as VertexId);
+    let neighbors: Vec<VertexId> = par_map(deduped.len(), 8192, |i| {
+        (deduped[i].key & 0xffff_ffff) as VertexId
+    });
     let weights = weighted.then(|| par_map(deduped.len(), 8192, |i| deduped[i].weight));
 
     CsrGraph::from_parts_unchecked(offsets, neighbors, weights)
@@ -105,8 +109,7 @@ pub fn relabel(g: &CsrGraph, perm: &[VertexId]) -> CsrGraph {
     if g.is_weighted() {
         from_weighted_edges(n, &edges)
     } else {
-        let unweighted: Vec<(VertexId, VertexId)> =
-            edges.iter().map(|&(u, v, _)| (u, v)).collect();
+        let unweighted: Vec<(VertexId, VertexId)> = edges.iter().map(|&(u, v, _)| (u, v)).collect();
         from_edges(n, &unweighted)
     }
 }
@@ -133,8 +136,7 @@ where
     if g.is_weighted() {
         from_weighted_edges(g.num_vertices(), &kept)
     } else {
-        let unweighted: Vec<(VertexId, VertexId)> =
-            kept.iter().map(|&(u, v, _)| (u, v)).collect();
+        let unweighted: Vec<(VertexId, VertexId)> = kept.iter().map(|&(u, v, _)| (u, v)).collect();
         from_edges(g.num_vertices(), &unweighted)
     }
 }

@@ -231,7 +231,7 @@ impl CsrGraph {
                 }
             }
         }
-        if self.neighbors.len() % 2 != 0 {
+        if !self.neighbors.len().is_multiple_of(2) {
             return Err("odd number of slots".into());
         }
         Ok(())
@@ -326,11 +326,7 @@ mod tests {
     fn closed_norms() {
         let g = triangle();
         assert_eq!(g.closed_norm_sq(0), 3.0); // 1 + deg
-        let w = CsrGraph::from_parts(
-            vec![0, 1, 2],
-            vec![1, 0],
-            Some(vec![0.5, 0.5]),
-        );
+        let w = CsrGraph::from_parts(vec![0, 1, 2], vec![1, 0], Some(vec![0.5, 0.5]));
         assert!((w.closed_norm_sq(0) - 1.25).abs() < 1e-9);
     }
 

@@ -67,7 +67,7 @@ pub fn rmat_with_params(
     (a, b, c): (f64, f64, f64),
     seed: u64,
 ) -> CsrGraph {
-    assert!(scale >= 1 && scale < 32);
+    assert!((1..32).contains(&scale));
     assert!(a + b + c <= 1.0 + 1e-9);
     let n = 1usize << scale;
     let target_m = edge_factor * n;
@@ -125,8 +125,10 @@ pub fn weighted_planted_partition(
     let block = n.div_ceil(communities).max(1);
     let weighted: Vec<(VertexId, VertexId, f32)> = par_map(edges.len(), 4096, |i| {
         let (u, v) = edges[i];
-        let mut rng =
-            SmallRng::seed_from_u64(hash64_pair(seed ^ x_weights(), ((u as u64) << 32) | v as u64));
+        let mut rng = SmallRng::seed_from_u64(hash64_pair(
+            seed ^ x_weights(),
+            ((u as u64) << 32) | v as u64,
+        ));
         let same = (u as usize) / block == (v as usize) / block;
         let w = if same {
             rng.gen_range(0.6..1.0f32)
@@ -235,7 +237,10 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
 /// clustering coefficient at small `beta` — the regime where SCAN's
 /// triangle-based similarity is most structured.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k >= 2 && k % 2 == 0 && n > k, "need even k in [2, n)");
+    assert!(
+        k >= 2 && k.is_multiple_of(2) && n > k,
+        "need even k in [2, n)"
+    );
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = SmallRng::seed_from_u64(hash64_pair(seed, x_seed("ws")));
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
@@ -270,8 +275,9 @@ pub fn complete(n: usize) -> CsrGraph {
 
 /// Simple path `0 - 1 - ... - (n-1)`.
 pub fn path(n: usize) -> CsrGraph {
-    let edges: Vec<(VertexId, VertexId)> =
-        (0..n.saturating_sub(1)).map(|i| (i as u32, i as u32 + 1)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (0..n.saturating_sub(1))
+        .map(|i| (i as u32, i as u32 + 1))
+        .collect();
     from_edges(n, &edges)
 }
 
@@ -374,7 +380,12 @@ mod tests {
             .canonical_edges()
             .filter(|&(u, v, _)| labels[u as usize] == labels[v as usize])
             .count();
-        assert!(intra * 2 > g.num_edges(), "intra {} of {}", intra, g.num_edges());
+        assert!(
+            intra * 2 > g.num_edges(),
+            "intra {} of {}",
+            intra,
+            g.num_edges()
+        );
     }
 
     #[test]

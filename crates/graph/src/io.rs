@@ -69,9 +69,11 @@ pub fn read_edge_list_text<P: AsRef<Path>>(path: P, n_hint: Option<usize>) -> io
         }
         line.clear();
     }
-    let n = n_hint
-        .unwrap_or(0)
-        .max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = n_hint.unwrap_or(0).max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(if weighted {
         crate::builder::from_weighted_edges(n, &edges)
     } else {

@@ -179,8 +179,7 @@ pub fn read_metis<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
     Ok(if weighted {
         crate::builder::from_weighted_edges(n, &forward)
     } else {
-        let plain: Vec<(VertexId, VertexId)> =
-            forward.iter().map(|&(a, b, _)| (a, b)).collect();
+        let plain: Vec<(VertexId, VertexId)> = forward.iter().map(|&(a, b, _)| (a, b)).collect();
         crate::builder::from_edges(n, &plain)
     })
 }

@@ -202,9 +202,8 @@ pub fn patch(
             debug_assert_eq!(pos, offsets[v + 1]);
         });
     }
-    let patched = CsrGraph::try_from_parts(offsets, neighbors, weights)
-        .expect("patch preserves CSR invariants");
-    patched
+
+    CsrGraph::try_from_parts(offsets, neighbors, weights).expect("patch preserves CSR invariants")
 }
 
 #[cfg(test)]
@@ -217,11 +216,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     /// Oracle: apply the batch to an edge map and rebuild from scratch.
-    fn oracle(
-        g: &CsrGraph,
-        insertions: &[(u32, u32, f32)],
-        deletions: &[(u32, u32)],
-    ) -> CsrGraph {
+    fn oracle(g: &CsrGraph, insertions: &[(u32, u32, f32)], deletions: &[(u32, u32)]) -> CsrGraph {
         let canon = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
         let mut edges: BTreeMap<(u32, u32), f32> = g
             .canonical_edges()
@@ -240,8 +235,7 @@ mod tests {
                 edges.insert(canon(u, v), w);
             }
         }
-        let list: Vec<(u32, u32, f32)> =
-            edges.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        let list: Vec<(u32, u32, f32)> = edges.into_iter().map(|((u, v), w)| (u, v, w)).collect();
         if g.is_weighted() {
             from_weighted_edges(g.num_vertices(), &list)
         } else {
@@ -257,13 +251,7 @@ mod tests {
             let n = rng.gen_range(5..120usize);
             let g = generators::erdos_renyi(n.max(2), 3 * n, rng.gen());
             let ins: Vec<(u32, u32, f32)> = (0..rng.gen_range(0..30))
-                .map(|_| {
-                    (
-                        rng.gen_range(0..n as u32),
-                        rng.gen_range(0..n as u32),
-                        1.0,
-                    )
-                })
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32), 1.0))
                 .collect();
             let del: Vec<(u32, u32)> = g
                 .canonical_edges()

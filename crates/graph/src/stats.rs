@@ -30,7 +30,13 @@ pub fn graph_stats(g: &CsrGraph) -> GraphStats {
     let min_degree = if n == 0 {
         0
     } else {
-        reduce(n, 4096, usize::MAX, |v| g.degree(v as VertexId), |a, b| a.min(b))
+        reduce(
+            n,
+            4096,
+            usize::MAX,
+            |v| g.degree(v as VertexId),
+            |a, b| a.min(b),
+        )
     };
     GraphStats {
         n,

@@ -88,9 +88,7 @@ mod tests {
     fn symmetric() {
         let a = vec![0u32, 0, 1, 1, 2, 2];
         let b = vec![0u32, 1, 1, 2, 2, 2];
-        assert!(
-            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
     }
 
     #[test]

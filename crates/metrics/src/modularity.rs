@@ -79,7 +79,7 @@ mod tests {
         let q = modularity(&g, &labels);
         assert!(q > 0.4, "got {q}");
         // All-one-cluster scores zero.
-        assert!(modularity(&g, &vec![0; 8]).abs() < 1e-12);
+        assert!(modularity(&g, &[0; 8]).abs() < 1e-12);
         // Singletons score negative.
         let singles: Vec<u32> = (0..8).collect();
         assert!(modularity(&g, &singles) < 0.0);
@@ -89,10 +89,8 @@ mod tests {
     fn known_value_two_triangles() {
         // Two triangles joined by an edge, split naturally: m = 7,
         // internal = 6, degree sums 7 and 7.
-        let g = parscan_graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g =
+            parscan_graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let labels = vec![0, 0, 0, 1, 1, 1];
         let want = 6.0 / 7.0 - 2.0 * (7.0f64 / 14.0).powi(2);
         assert!((modularity(&g, &labels) - want).abs() < 1e-12);
@@ -101,10 +99,8 @@ mod tests {
     #[test]
     fn weighted_reduces_to_unweighted_at_unit_weights() {
         let (g, labels) = generators::planted_partition(120, 3, 8.0, 1.0, 5);
-        let edges: Vec<(u32, u32, f32)> = g
-            .canonical_edges()
-            .map(|(u, v, _)| (u, v, 1.0))
-            .collect();
+        let edges: Vec<(u32, u32, f32)> =
+            g.canonical_edges().map(|(u, v, _)| (u, v, 1.0)).collect();
         let gw = parscan_graph::from_weighted_edges(120, &edges);
         let a = modularity(&g, &labels);
         let b = modularity(&gw, &labels);

@@ -149,12 +149,7 @@ mod tests {
             let n = rng.gen_range(1..200usize);
             let m = rng.gen_range(0..400usize);
             let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| {
-                    (
-                        rng.gen_range(0..n) as u32,
-                        rng.gen_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
                 .collect();
             let a = connected_components(n, &edges);
             let b = via_union_find(n, &edges);

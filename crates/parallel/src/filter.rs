@@ -91,7 +91,9 @@ mod tests {
 
     #[test]
     fn filter_matches_sequential() {
-        let input: Vec<u32> = (0..100_000).map(|i| (i * 2654435761u64 % 1000) as u32).collect();
+        let input: Vec<u32> = (0..100_000)
+            .map(|i| (i * 2654435761u64 % 1000) as u32)
+            .collect();
         let got = filter(&input, |&x| x % 3 == 0);
         let want: Vec<u32> = input.iter().copied().filter(|&x| x % 3 == 0).collect();
         assert_eq!(got, want);

@@ -76,7 +76,10 @@ impl<F: FnOnce() -> R + Send, R: Send> StackJob<F, R> {
     /// reclaimed unexecuted.
     unsafe fn as_task_ref(&self) -> TaskRef {
         let fat: *const dyn Job = self;
-        TaskRef(std::mem::transmute::<*const dyn Job, *const (dyn Job + 'static)>(fat))
+        TaskRef(std::mem::transmute::<
+            *const dyn Job,
+            *const (dyn Job + 'static),
+        >(fat))
     }
 
     fn probe(&self) -> bool {
@@ -195,9 +198,13 @@ fn shared() -> &'static Shared {
         for (index, local) in locals.into_iter().enumerate() {
             std::thread::Builder::new()
                 .name(format!("parscan-fj-{index}"))
+                // Help-stealing executes stolen tasks in nested frames, so
+                // a worker's stack depth scales with the length of steal
+                // chains, not the input's recursion depth. Reserve a large
+                // stack (virtual memory; committed only as used).
+                .stack_size(128 << 20)
                 .spawn(move || {
-                    let ctx: &'static WorkerCtx =
-                        Box::leak(Box::new(WorkerCtx { local, index }));
+                    let ctx: &'static WorkerCtx = Box::leak(Box::new(WorkerCtx { local, index }));
                     FJ_WORKER.with(|w| w.set(Some(ctx)));
                     worker_loop(ctx, shared);
                 })
@@ -209,10 +216,7 @@ fn shared() -> &'static Shared {
 
 fn worker_loop(ctx: &'static WorkerCtx, shared: &'static Shared) -> ! {
     loop {
-        let task = ctx
-            .local
-            .pop()
-            .or_else(|| shared.steal_once(ctx.index));
+        let task = ctx.local.pop().or_else(|| shared.steal_once(ctx.index));
         match task {
             // SAFETY: published tasks are alive until their latch is set.
             Some(t) => unsafe { (*t.0).execute() },
@@ -257,16 +261,21 @@ where
     RB: Send,
 {
     let shared = shared();
+    let Some(ctx) = FJ_WORKER.with(|w| w.get()) else {
+        // External threads never execute tasks: help-stealing would nest
+        // arbitrary steal chains in *this* thread's frames, and callers
+        // (test harnesses, flat-pool workers, user threads) own stacks of
+        // unknown, often default, size. Instead the whole computation is
+        // shipped to the scheduler's big-stack workers as one root job.
+        return join_external(shared, a, b);
+    };
+
     let job_b = StackJob::new(b);
     // SAFETY: this frame outlives the published reference — both exit
     // paths below wait for reclaim-or-latch before returning/unwinding.
     let b_ref = unsafe { job_b.as_task_ref() };
 
-    let ctx = FJ_WORKER.with(|w| w.get());
-    match ctx {
-        Some(ctx) => ctx.local.push(b_ref),
-        None => shared.injector.push(b_ref),
-    }
+    ctx.local.push(b_ref);
     shared.notify();
 
     let ra = panic::catch_unwind(AssertUnwindSafe(a));
@@ -274,27 +283,17 @@ where
     // Reclaim b if nobody stole it; otherwise help until it completes.
     if !job_b.probe() {
         let mut reclaimed = false;
-        if let Some(ctx) = ctx {
-            // LIFO discipline: every task pushed during `a` was already
-            // reclaimed by its own join, so the top is ours or gone.
-            if let Some(t) = ctx.local.pop() {
-                debug_assert!(t.same(b_ref), "foreign task above our join frame");
-                // SAFETY: reclaimed before anyone else could run it.
-                unsafe { (*t.0).execute() };
-                reclaimed = t.same(b_ref);
-                if !reclaimed {
-                    // Defensive: we executed a foreign task; keep waiting.
-                }
-            }
-        } else {
-            // External callers published to the injector; they cannot
-            // reclaim by identity, only help until the latch flips. If a
-            // steal hands our own task back, executing it completes us.
+        // LIFO discipline: every task pushed during `a` was already
+        // reclaimed by its own join, so the top is ours or gone.
+        if let Some(t) = ctx.local.pop() {
+            debug_assert!(t.same(b_ref), "foreign task above our join frame");
+            // SAFETY: reclaimed before anyone else could run it.
+            unsafe { (*t.0).execute() };
+            reclaimed = t.same(b_ref);
         }
         if !reclaimed {
-            let skip = ctx.map_or(usize::MAX, |c| c.index);
             while !job_b.probe() {
-                match shared.steal_once(skip) {
+                match shared.steal_once(ctx.index) {
                     // SAFETY: stolen tasks are alive until latched.
                     Some(t) => unsafe { (*t.0).execute() },
                     None => std::thread::yield_now(),
@@ -313,6 +312,50 @@ where
     // SAFETY: latch observed (or inline execution happened-before).
     let rb = unsafe { job_b.take_result() };
     (ra, rb)
+}
+
+/// `join` for threads outside the scheduler: run inline when there are no
+/// workers, otherwise publish one root job and park until it completes.
+fn join_external<A, B, RA, RB>(shared: &'static Shared, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if shared.stealers.is_empty() {
+        // Single-threaded configuration: sequential execution, keeping the
+        // scheduler path's guarantees — b runs even when a panics, and a's
+        // panic takes precedence at the join point.
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        let rb = panic::catch_unwind(AssertUnwindSafe(b));
+        return match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) | (_, Err(payload)) => panic::resume_unwind(payload),
+        };
+    }
+
+    let root = StackJob::new(move || join(a, b));
+    // SAFETY: this frame blocks until the latch flips, so the published
+    // reference never outlives the job.
+    let root_ref = unsafe { root.as_task_ref() };
+    shared.injector.push(root_ref);
+    shared.notify();
+
+    // Park with escalating backoff; external callers do not steal.
+    let mut spins = 0u32;
+    while !root.probe() {
+        spins = spins.saturating_add(1);
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else if spins < 256 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+    // SAFETY: latch observed; result taken exactly once by this owner.
+    unsafe { root.take_result() }
 }
 
 #[cfg(test)]
@@ -387,13 +430,13 @@ mod tests {
     fn panic_in_a_propagates_after_b_finishes() {
         let b_ran = AtomicBool::new(false);
         let caught = panic::catch_unwind(AssertUnwindSafe(|| {
-            join(
-                || panic!("boom-a"),
-                || b_ran.store(true, Ordering::SeqCst),
-            );
+            join(|| panic!("boom-a"), || b_ran.store(true, Ordering::SeqCst));
         }));
         assert!(caught.is_err());
-        assert!(b_ran.load(Ordering::SeqCst), "b must still run or be reclaimed");
+        assert!(
+            b_ran.load(Ordering::SeqCst),
+            "b must still run or be reclaimed"
+        );
     }
 
     #[test]

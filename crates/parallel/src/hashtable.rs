@@ -203,7 +203,9 @@ mod tests {
 
     #[test]
     fn set_matches_std_hashset() {
-        let keys: Vec<u64> = (0..20_000).map(|i| crate::utils::hash64(i) % 5000).collect();
+        let keys: Vec<u64> = (0..20_000)
+            .map(|i| crate::utils::hash64(i) % 5000)
+            .collect();
         let set = ConcurrentSetU64::with_capacity(keys.len());
         par_for(keys.len(), 512, |i| {
             set.insert(keys[i]);

@@ -29,9 +29,9 @@ pub mod filter;
 pub mod fork_join;
 pub mod hashtable;
 pub mod pool;
-pub mod quicksort;
 pub mod prefix;
 pub mod primitives;
+pub mod quicksort;
 pub mod radix;
 pub mod sort;
 pub mod union_find;
@@ -39,8 +39,8 @@ pub mod utils;
 
 pub use connectivity::connected_components;
 pub use dedup::remove_duplicates_u64;
-pub use fork_join::join;
 pub use filter::{filter, pack_index_u32};
+pub use fork_join::join;
 pub use hashtable::{ConcurrentMapU64, ConcurrentSetU64};
 pub use pool::{num_threads, set_active_threads};
 pub use prefix::{exclusive_scan_in_place, exclusive_scan_usize};

@@ -100,7 +100,7 @@ where
         .into_inner()
         .into_iter()
         .map(|p| p.expect("all chunks completed"))
-        .fold(id, |a, b| combine(a, b))
+        .fold(id, &combine)
 }
 
 /// Parallel reduction for commutative monoids — same as [`reduce`], kept as
@@ -182,13 +182,7 @@ mod tests {
     #[test]
     fn reduce_is_deterministic_for_noncommutative() {
         // String concatenation is associative but not commutative.
-        let s = reduce(
-            64,
-            5,
-            String::new(),
-            |i| format!("{},", i),
-            |a, b| a + &b,
-        );
+        let s = reduce(64, 5, String::new(), |i| format!("{},", i), |a, b| a + &b);
         let want: String = (0..64).map(|i| format!("{i},")).collect();
         assert_eq!(s, want);
     }

@@ -130,10 +130,10 @@ mod tests {
     #[test]
     fn handles_adversarial_inputs() {
         for gen in [
-            (|i: usize| i as u64) as fn(usize) -> u64,      // sorted
-            |i| (100_000 - i) as u64,                        // reverse sorted
-            |_| 7,                                           // constant
-            |i| (i % 3) as u64,                              // few distinct
+            (|i: usize| i as u64) as fn(usize) -> u64, // sorted
+            |i| (100_000 - i) as u64,                  // reverse sorted
+            |_| 7,                                     // constant
+            |i| (i % 3) as u64,                        // few distinct
         ] {
             let mut data: Vec<u64> = (0..100_000).map(gen).collect();
             let mut want = data.clone();

@@ -18,6 +18,7 @@ const SEQ_THRESHOLD: usize = 1 << 13;
 ///
 /// `max_key` may be supplied when known (e.g. quantized similarities) to
 /// skip the max-reduction; otherwise it is computed.
+#[allow(clippy::uninit_vec)]
 pub fn par_radix_sort_by_key<T, K>(data: &mut [T], key: K, max_key: Option<u64>)
 where
     T: Copy + Send + Sync,
@@ -37,6 +38,7 @@ where
     let used_bits = 64 - max_key.leading_zeros();
     let passes = used_bits.div_ceil(RADIX_BITS).max(1);
 
+    // clippy::uninit_vec allowed at fn level: T is Copy, fully written before any read.
     let mut scratch: Vec<T> = Vec::with_capacity(n);
     // SAFETY: T is Copy; fully written before reads each pass.
     unsafe { scratch.set_len(n) };
@@ -137,9 +139,7 @@ mod tests {
 
     #[test]
     fn sorts_random_u64() {
-        let mut got: Vec<(u64, u32)> = (0..200_000)
-            .map(|i| (hash64(i as u64), i as u32))
-            .collect();
+        let mut got: Vec<(u64, u32)> = (0..200_000).map(|i| (hash64(i as u64), i as u32)).collect();
         let mut want = got.clone();
         par_radix_sort_pairs(&mut got);
         want.sort_by_key(|p| p.0);

@@ -30,6 +30,7 @@ where
     par_merge_sort(data, &cmp, true);
 }
 
+#[allow(clippy::uninit_vec)]
 fn par_merge_sort<T, C>(data: &mut [T], cmp: &C, stable: bool)
 where
     T: Copy + Send + Sync,
@@ -68,6 +69,7 @@ where
     }
 
     // Merge rounds, ping-ponging between `data` and a scratch buffer.
+    // clippy::uninit_vec allowed at fn level: T is Copy, fully written before any read.
     let mut scratch: Vec<T> = Vec::with_capacity(n);
     // SAFETY: T is Copy (no drop); contents are fully written before reads.
     unsafe { scratch.set_len(n) };
@@ -231,11 +233,12 @@ mod tests {
     fn stable_sort_preserves_order_of_ties() {
         // Key has few distinct values; payload records original index.
         let n = 200_000;
-        let mut got: Vec<(u8, u32)> =
-            (0..n).map(|i| ((i as u64 * 131 % 7) as u8, i as u32)).collect();
+        let mut got: Vec<(u8, u32)> = (0..n)
+            .map(|i| ((i as u64 * 131 % 7) as u8, i as u32))
+            .collect();
         let mut want = got.clone();
         par_sort_by(&mut got, |a, b| a.0.cmp(&b.0));
-        want.sort_by(|a, b| a.0.cmp(&b.0));
+        want.sort_by_key(|a| a.0);
         assert_eq!(got, want);
     }
 

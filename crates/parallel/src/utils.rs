@@ -25,6 +25,10 @@ impl<T> SyncMutPtr<T> {
 
     /// # Safety
     /// `range` must be in bounds and not concurrently aliased.
+    // The `&self -> &mut` projection is this type's entire purpose: it
+    // hands out disjoint mutable views from a shared raw pointer, with
+    // aliasing discipline delegated to the caller (see type-level docs).
+    #[allow(clippy::mut_from_ref)]
     #[inline]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(start), len)

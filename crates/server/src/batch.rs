@@ -1,0 +1,239 @@
+//! Batched query execution: deduplicate a mixed workload, run the
+//! distinct clustering queries across the thread pool, and fan results
+//! back out in request order.
+//!
+//! Batching matters for two reasons. First, *deduplication*: concurrent
+//! misses on the same `(μ, ε)` class would each compute the clustering;
+//! inside a batch the computation happens exactly once and every
+//! duplicate shares the `Arc`. Second, *parallelism across queries*: a
+//! single query already parallelizes internally, but many small queries
+//! are dominated by per-query fixed costs — running the distinct set as
+//! one flat parallel job over `parscan_parallel::pool` overlaps them
+//! (nested parallel calls inside each query degrade to sequential, so
+//! batch-level parallelism composes safely with query-level).
+
+use crate::engine::{ClusterOutcome, QueryEngine};
+use crate::protocol::{Request, Response};
+use parscan_parallel::primitives::par_map;
+use std::collections::HashMap;
+
+/// Executes [`Request::Batch`] workloads against one engine.
+pub struct BatchExecutor<'e> {
+    engine: &'e QueryEngine,
+}
+
+impl<'e> BatchExecutor<'e> {
+    pub fn new(engine: &'e QueryEngine) -> Self {
+        BatchExecutor { engine }
+    }
+
+    /// Execute `requests`, returning one response per request in order.
+    /// `stats` supplies the response for embedded `STATS` commands (the
+    /// caller owns session bookkeeping this module knows nothing about).
+    pub fn execute<F>(&self, requests: &[Request], stats: F) -> Vec<Response>
+    where
+        F: Fn() -> Response,
+    {
+        // Deduplicate clustering work by (μ, ε-class): one execution per
+        // distinct key, shared by every duplicate in the batch.
+        let mut distinct: Vec<&Request> = Vec::new();
+        let mut key_to_slot: HashMap<(u32, u32), usize> = HashMap::new();
+        // `Some((slot, is_representative))` for cluster requests: the
+        // representative is the request whose execution metadata (cached,
+        // micros) describes what actually ran.
+        let mut slot_of_request: Vec<Option<(usize, bool)>> = Vec::with_capacity(requests.len());
+        for req in requests {
+            match req {
+                Request::Cluster { params, .. } => {
+                    let (eps_class, _) = self.engine.snap_epsilon(params.epsilon);
+                    let key = (params.mu, eps_class);
+                    let mut first = false;
+                    let slot = *key_to_slot.entry(key).or_insert_with(|| {
+                        first = true;
+                        distinct.push(req);
+                        distinct.len() - 1
+                    });
+                    slot_of_request.push(Some((slot, first)));
+                }
+                _ => slot_of_request.push(None),
+            }
+        }
+
+        // Run the distinct clustering queries as one flat parallel job —
+        // but only when there are enough of them to fill the pool. Pool
+        // workers collapse nested parallel calls to sequential, so a
+        // small batch under par_map would run each query single-threaded;
+        // below the thread count, intra-query parallelism wins.
+        let cluster_of = |req: &Request| {
+            let Request::Cluster { params, .. } = req else {
+                unreachable!("distinct holds only cluster requests");
+            };
+            self.engine.cluster(*params)
+        };
+        let outcomes: Vec<ClusterOutcome> =
+            if distinct.len() < parscan_parallel::pool::num_threads() {
+                distinct.iter().map(|req| cluster_of(req)).collect()
+            } else {
+                par_map(distinct.len(), 1, |i| cluster_of(distinct[i]))
+            };
+
+        requests
+            .iter()
+            .zip(&slot_of_request)
+            .map(|(req, slot)| match req {
+                Request::Cluster { params, full } => {
+                    let (slot, is_representative) = slot.expect("cluster requests have a slot");
+                    let mut outcome = outcomes[slot].clone();
+                    if !is_representative {
+                        // Duplicates consumed a shared result: report their
+                        // own ε snap and hit-like metadata, not the
+                        // representative's execution cost.
+                        let (eps_class, eps_snapped) = self.engine.snap_epsilon(params.epsilon);
+                        outcome.eps_class = eps_class;
+                        outcome.eps_snapped = eps_snapped;
+                        outcome.cached = true;
+                        outcome.micros = 0;
+                    }
+                    Response::Cluster {
+                        params: *params,
+                        outcome,
+                        full: *full,
+                    }
+                }
+                Request::Probe { vertex, params } => match self.engine.probe(*vertex, *params) {
+                    Ok(probe) => Response::Probe {
+                        vertex: *vertex,
+                        params: *params,
+                        probe,
+                    },
+                    Err(message) => Response::Error { message },
+                },
+                Request::Sweep { eps_step } => match self.engine.sweep_best(*eps_step) {
+                    Ok(best) => Response::Sweep { best },
+                    Err(message) => Response::Error { message },
+                },
+                Request::Stats => stats(),
+                Request::Ping => Response::Pong,
+                Request::Batch(_) | Request::Quit | Request::Shutdown => Response::Error {
+                    message: "command not allowed inside a batch".into(),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+    use parscan_graph::generators;
+    use std::sync::Arc;
+
+    fn engine() -> QueryEngine {
+        let (g, _) = generators::planted_partition(240, 4, 9.0, 1.0, 77);
+        QueryEngine::new(
+            Arc::new(ScanIndex::build(g, IndexConfig::default())),
+            EngineConfig::default(),
+        )
+    }
+
+    fn stats_stub() -> Response {
+        Response::Pong
+    }
+
+    #[test]
+    fn batch_preserves_request_order_and_dedups() {
+        let e = engine();
+        let p1 = QueryParams::new(2, 0.3);
+        let p2 = QueryParams::new(3, 0.5);
+        let requests = vec![
+            Request::Cluster {
+                params: p1,
+                full: false,
+            },
+            Request::Cluster {
+                params: p2,
+                full: false,
+            },
+            // Duplicate of the first — must share the same computation.
+            Request::Cluster {
+                params: p1,
+                full: true,
+            },
+            Request::Ping,
+            Request::Probe {
+                vertex: 0,
+                params: p1,
+            },
+        ];
+        let responses = BatchExecutor::new(&e).execute(&requests, stats_stub);
+        assert_eq!(responses.len(), 5);
+        let (a, c) = match (&responses[0], &responses[2]) {
+            (Response::Cluster { outcome: a, .. }, Response::Cluster { outcome: c, .. }) => (a, c),
+            other => panic!("unexpected responses {other:?}"),
+        };
+        assert!(
+            Arc::ptr_eq(&a.clustering, &c.clustering),
+            "duplicates must share one result"
+        );
+        // The duplicate reports hit-like metadata, not the
+        // representative's execution cost.
+        assert!(!a.cached);
+        assert!(c.cached && c.micros == 0);
+        assert_eq!(a.eps_class, c.eps_class);
+        // Two distinct queries executed, not three.
+        assert_eq!(e.stats().cluster_requests, 2);
+        assert!(matches!(responses[3], Response::Pong));
+        assert!(matches!(responses[4], Response::Probe { .. }));
+    }
+
+    #[test]
+    fn batch_results_match_sequential_execution() {
+        let e = engine();
+        let params: Vec<QueryParams> = (1..=6)
+            .map(|i| QueryParams::new(2 + (i % 3), i as f32 / 7.0))
+            .collect();
+        let requests: Vec<Request> = params
+            .iter()
+            .map(|&p| Request::Cluster {
+                params: p,
+                full: false,
+            })
+            .collect();
+        let batched = BatchExecutor::new(&e).execute(&requests, stats_stub);
+
+        let direct = engine(); // fresh engine, sequential execution
+        for (req, resp) in requests.iter().zip(&batched) {
+            let Request::Cluster { params, .. } = req else {
+                unreachable!()
+            };
+            let Response::Cluster { outcome, .. } = resp else {
+                panic!("expected cluster response")
+            };
+            let want = direct.cluster(*params);
+            assert_eq!(
+                *outcome.clustering, *want.clustering,
+                "batch diverges at {params:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_inside_batches_are_per_request() {
+        let e = engine();
+        let requests = vec![
+            Request::Probe {
+                vertex: 999_999,
+                params: QueryParams::new(2, 0.5),
+            },
+            Request::Cluster {
+                params: QueryParams::new(2, 0.5),
+                full: false,
+            },
+        ];
+        let responses = BatchExecutor::new(&e).execute(&requests, stats_stub);
+        assert!(matches!(responses[0], Response::Error { .. }));
+        assert!(matches!(responses[1], Response::Cluster { .. }));
+    }
+}

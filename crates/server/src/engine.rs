@@ -1,0 +1,478 @@
+//! The query engine: a resident `Arc<ScanIndex>` behind a result cache.
+//!
+//! # ε quantization
+//!
+//! A SCAN query's result depends on ε only through the predicate
+//! `σ ≥ ε`, and the index stores finitely many distinct similarity
+//! values. Sorting those distinct values into *breakpoints*
+//! `s_1 < s_2 < … < s_k` partitions `[0, 1]` into equivalence classes
+//! `(s_{j-1}, s_j]` (plus the class above `s_k`): every ε in a class
+//! selects exactly the same ε-similar edge set, hence the same
+//! clustering. The cache is keyed by the class index, so `ε = 0.50` and
+//! `ε = 0.51` hit the same entry whenever no similarity value separates
+//! them — which on real graphs collapses fine-grained parameter sweeps
+//! onto a few dozen distinct computations.
+//!
+//! # Concurrency
+//!
+//! `ScanIndex` queries borrow the index immutably, so any number of
+//! sessions may query one engine at once; the cache serializes only
+//! per-shard map updates. Counters are relaxed atomics.
+
+use crate::cache::ShardedLru;
+use parscan_core::{
+    BorderAssignment, Clustering, QueryOptions, QueryParams, ScanIndex, VertexProbe,
+};
+use parscan_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of cached clusterings (each `O(n)` memory).
+    pub cache_capacity: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Border policy for served queries. The default is the
+    /// deterministic [`BorderAssignment::MostSimilar`], so identical
+    /// requests always receive identical answers (cached or not).
+    pub border: BorderAssignment,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 128,
+            cache_shards: 8,
+            border: BorderAssignment::MostSimilar,
+        }
+    }
+}
+
+/// Cache key: μ and the ε equivalence class (plus the border policy,
+/// which changes the answer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    mu: u32,
+    eps_class: u32,
+    most_similar: bool,
+}
+
+/// Monotonically increasing serving counters.
+#[derive(Default)]
+struct Counters {
+    cluster_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    probe_requests: AtomicU64,
+    compute_micros: AtomicU64,
+}
+
+/// A point-in-time copy of the engine's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub cluster_requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub probe_requests: u64,
+    /// Cumulative wall-clock microseconds spent computing cache misses.
+    pub compute_micros: u64,
+    pub cache_len: usize,
+    pub cache_capacity: usize,
+}
+
+impl EngineStats {
+    /// Fraction of cluster requests answered from the cache (0 when none
+    /// have been served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Outcome of one served clustering query.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    pub clustering: Arc<Clustering>,
+    /// Whether the answer came from the cache.
+    pub cached: bool,
+    /// Wall-clock microseconds this call spent (≈0 for hits).
+    pub micros: u64,
+    /// The ε equivalence class index (see module docs).
+    pub eps_class: u32,
+    /// The class's canonical ε — the smallest breakpoint ≥ the requested
+    /// ε, or the request itself when ε exceeds every similarity.
+    pub eps_snapped: f32,
+}
+
+/// A resident index serving concurrent `(μ, ε)` queries through a
+/// quantized result cache.
+pub struct QueryEngine {
+    index: Arc<ScanIndex>,
+    cache: ShardedLru<CacheKey, Arc<Clustering>>,
+    /// Sorted distinct similarity values (the ε breakpoints).
+    breakpoints: Vec<f32>,
+    border: BorderAssignment,
+    counters: Counters,
+}
+
+impl QueryEngine {
+    pub fn new(index: Arc<ScanIndex>, config: EngineConfig) -> Self {
+        let mut breakpoints: Vec<f32> = index.similarities().as_slice().to_vec();
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
+        breakpoints.dedup();
+        // The pre-dedup buffer held one f32 per slot (2m); release the
+        // unused capacity — the engine keeps this vec for its lifetime.
+        breakpoints.shrink_to_fit();
+        QueryEngine {
+            index,
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            breakpoints,
+            border: config.border,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Convenience: build an engine with [`EngineConfig::default`].
+    pub fn with_default_config(index: Arc<ScanIndex>) -> Self {
+        Self::new(index, EngineConfig::default())
+    }
+
+    #[inline]
+    pub fn index(&self) -> &Arc<ScanIndex> {
+        &self.index
+    }
+
+    /// Number of ε equivalence classes (distinct similarity values).
+    pub fn num_breakpoints(&self) -> usize {
+        self.breakpoints.len()
+    }
+
+    /// Snap ε to its equivalence class: the class index and its
+    /// canonical (largest-result-preserving) representative.
+    pub fn snap_epsilon(&self, epsilon: f32) -> (u32, f32) {
+        let class = self.breakpoints.partition_point(|&s| s < epsilon);
+        let snapped = self.breakpoints.get(class).copied().unwrap_or(epsilon);
+        (class as u32, snapped)
+    }
+
+    /// Serve one clustering query through the cache. This is the
+    /// client-facing path: it is the only one that moves the
+    /// `cluster_requests` / hit / miss counters, so
+    /// `cache_hits + cache_misses == cluster_requests` always holds.
+    pub fn cluster(&self, params: QueryParams) -> ClusterOutcome {
+        self.counters
+            .cluster_requests
+            .fetch_add(1, Ordering::Relaxed);
+        self.cluster_inner(params, true, true)
+    }
+
+    /// The shared query path. With `use_cache` false the cache is neither
+    /// consulted nor populated — used by bulk work like sweeps that would
+    /// otherwise evict every hot entry of a smaller cache. With `count`
+    /// false the hit/miss counters stay untouched (internal work must not
+    /// skew client-facing serving stats); `compute_micros` always
+    /// accumulates, since it measures computation, not traffic.
+    fn cluster_inner(&self, params: QueryParams, use_cache: bool, count: bool) -> ClusterOutcome {
+        let start = Instant::now();
+        let (eps_class, eps_snapped) = self.snap_epsilon(params.epsilon);
+        let key = CacheKey {
+            mu: params.mu,
+            eps_class,
+            most_similar: self.border == BorderAssignment::MostSimilar,
+        };
+        if use_cache {
+            if let Some(hit) = self.cache.get(&key) {
+                if count {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return ClusterOutcome {
+                    clustering: hit,
+                    cached: true,
+                    micros: start.elapsed().as_micros() as u64,
+                    eps_class,
+                    eps_snapped,
+                };
+            }
+        }
+        let opts = QueryOptions {
+            border: self.border,
+            ..Default::default()
+        };
+        let clustering = Arc::new(self.index.cluster_with_opts(params, opts));
+        if use_cache {
+            self.cache.insert(key, Arc::clone(&clustering));
+            if count {
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let micros = start.elapsed().as_micros() as u64;
+        self.counters
+            .compute_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        ClusterOutcome {
+            clustering,
+            cached: false,
+            micros,
+            eps_class,
+            eps_snapped,
+        }
+    }
+
+    /// The cheap per-vertex lookup path ([`ScanIndex::probe_vertex`]):
+    /// degree-bounded work, never touches the cache.
+    pub fn probe(&self, vertex: VertexId, params: QueryParams) -> Result<VertexProbe, String> {
+        self.counters.probe_requests.fetch_add(1, Ordering::Relaxed);
+        let n = self.index.graph().num_vertices();
+        if (vertex as usize) >= n {
+            return Err(format!("vertex {vertex} out of range (n = {n})"));
+        }
+        Ok(self.index.probe_vertex(vertex, params))
+    }
+
+    /// Modularity-scored sweep over the (μ, ε) grid with the given ε
+    /// step, returning the best parameters. The grid is the core crate's
+    /// [`SweepGrid`] μ-doubling (one grid definition shared with
+    /// `parscan sweep`). Grid points run through the cache only when the
+    /// whole grid fits in half its capacity — a full sweep through a
+    /// small cache would evict every hot entry other sessions rely on —
+    /// so "repeated sweeps are hits" holds exactly when caching them is
+    /// harmless. Sweep-internal queries never move the client-facing
+    /// request/hit/miss counters (only `compute_micros`).
+    ///
+    /// `eps_step` is bounded below (0.005, ≤ 199 ε points) because this
+    /// runs on behalf of untrusted network clients: an arbitrarily small
+    /// step would turn one request line into an unbounded computation.
+    pub fn sweep_best(&self, eps_step: f32) -> Result<SweepBest, String> {
+        if !(0.005..1.0).contains(&eps_step) {
+            return Err(format!("eps_step must be in [0.005, 1), got {eps_step}"));
+        }
+        let g = self.index.graph();
+        let max_mu = (g.max_degree() as u32 + 1).max(2);
+        // Exact multiples (not repeated addition, which drifts in f32) so
+        // the grid matches what SweepGrid-based callers evaluate.
+        let epsilons: Vec<f32> = (1..)
+            .map(|i| i as f32 * eps_step)
+            .take_while(|&e| e < 1.0)
+            .collect();
+        let grid = parscan_core::SweepGrid {
+            mus: parscan_core::SweepGrid::paper_sigma(max_mu).mus,
+            epsilons,
+        };
+        let points = grid.points();
+        let use_cache = points.len() <= self.cache.capacity() / 2;
+        let mut best: Option<SweepBest> = None;
+        for params in points {
+            let outcome = self.cluster_inner(params, use_cache, false);
+            let c = &outcome.clustering;
+            let score = if c.num_clusters() == 0 {
+                f64::NEG_INFINITY
+            } else {
+                parscan_metrics::modularity(g, &c.labels_with_singletons())
+            };
+            let better = best.as_ref().is_none_or(|b| score > b.modularity);
+            if better && score.is_finite() {
+                best = Some(SweepBest {
+                    mu: params.mu,
+                    epsilon: params.epsilon,
+                    modularity: score,
+                    num_clusters: c.num_clusters(),
+                    num_clustered: c.num_clustered(),
+                });
+            }
+        }
+        best.ok_or_else(|| "sweep found no non-empty clustering".to_string())
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cluster_requests: self.counters.cluster_requests.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            probe_requests: self.counters.probe_requests.load(Ordering::Relaxed),
+            compute_micros: self.counters.compute_micros.load(Ordering::Relaxed),
+            cache_len: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+        }
+    }
+
+    /// Drop every cached clustering (counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+/// Best point found by [`QueryEngine::sweep_best`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepBest {
+    pub mu: u32,
+    pub epsilon: f32,
+    pub modularity: f64,
+    pub num_clusters: usize,
+    pub num_clustered: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parscan_core::IndexConfig;
+    use parscan_graph::generators;
+
+    fn engine(capacity: usize) -> QueryEngine {
+        let (g, _) = generators::planted_partition(300, 5, 10.0, 1.0, 42);
+        let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
+        QueryEngine::new(
+            index,
+            EngineConfig {
+                cache_capacity: capacity,
+                cache_shards: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn equivalent_epsilons_share_a_cache_entry() {
+        let e = engine(64);
+        // 0.5 and its snapped breakpoint are distinct ε values in the
+        // same equivalence class (unless 0.5 is itself a breakpoint, in
+        // which case they coincide — the assertion still holds).
+        let (c1, s1) = e.snap_epsilon(0.5);
+        let (c2, s2) = e.snap_epsilon(s1);
+        assert_eq!(c1, c2, "ε and its snapped value share a class");
+        assert_eq!(s1, s2);
+
+        let a = e.cluster(QueryParams::new(3, 0.5));
+        assert!(!a.cached);
+        let b = e.cluster(QueryParams::new(3, s1));
+        assert!(b.cached, "snapped ε must hit the same entry");
+        assert!(Arc::ptr_eq(&a.clustering, &b.clustering));
+        assert_eq!(e.stats().cache_hits, 1);
+        assert_eq!(e.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn snapping_preserves_results() {
+        let e = engine(256);
+        // A snapped ε must produce the identical clustering when queried
+        // directly against the index.
+        for eps in [0.05f32, 0.21, 0.37, 0.5, 0.74, 0.99] {
+            let (_, snapped) = e.snap_epsilon(eps);
+            let direct_raw = e
+                .index()
+                .cluster_with(QueryParams::new(3, eps), BorderAssignment::MostSimilar);
+            let direct_snapped = e
+                .index()
+                .cluster_with(QueryParams::new(3, snapped), BorderAssignment::MostSimilar);
+            assert_eq!(direct_raw, direct_snapped, "class of ε={eps} not exact");
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_results() {
+        let e = engine(64);
+        let p = QueryParams::new(4, 0.4);
+        let cold = e.cluster(p);
+        let hot = e.cluster(p);
+        assert!(!cold.cached);
+        assert!(hot.cached);
+        assert!(Arc::ptr_eq(&cold.clustering, &hot.clustering));
+        let direct = e.index().cluster_with(p, BorderAssignment::MostSimilar);
+        assert_eq!(*cold.clustering, direct);
+    }
+
+    #[test]
+    fn eviction_keeps_engine_correct() {
+        let e = engine(2); // tiny cache forces evictions
+        let params: Vec<QueryParams> = (1..=8)
+            .map(|i| QueryParams::new(2, i as f32 / 10.0))
+            .collect();
+        let first: Vec<_> = params.iter().map(|&p| e.cluster(p).clustering).collect();
+        // Re-query in the same order: most entries were evicted, but every
+        // answer must still be correct.
+        for (p, want) in params.iter().zip(&first) {
+            let again = e.cluster(*p);
+            assert_eq!(*again.clustering, **want, "params {p:?}");
+        }
+        let stats = e.stats();
+        assert!(stats.cache_len <= stats.cache_capacity);
+        assert!(stats.cache_misses >= 8, "evictions must force recomputes");
+    }
+
+    #[test]
+    fn probe_validates_vertex_range() {
+        let e = engine(8);
+        assert!(e.probe(0, QueryParams::new(2, 0.5)).is_ok());
+        assert!(e.probe(10_000, QueryParams::new(2, 0.5)).is_err());
+        assert_eq!(e.stats().probe_requests, 2);
+    }
+
+    #[test]
+    fn sweep_best_finds_community_structure() {
+        let e = engine(512);
+        let best = e.sweep_best(0.1).expect("planted graph has structure");
+        assert!(best.modularity > 0.3, "modularity {}", best.modularity);
+        assert!(best.num_clusters >= 2);
+        // The sweep populated the cache: re-running is all hits.
+        let before = e.stats();
+        let again = e.sweep_best(0.1).unwrap();
+        let after = e.stats();
+        assert_eq!(best, again);
+        assert_eq!(after.cache_misses, before.cache_misses);
+    }
+
+    #[test]
+    fn counters_reconcile_after_mixed_traffic() {
+        // `cluster_requests == cache_hits + cache_misses` must survive
+        // sweeps: internal grid queries are not client traffic.
+        let e = engine(512);
+        e.cluster(QueryParams::new(2, 0.3));
+        e.sweep_best(0.1).unwrap();
+        e.cluster(QueryParams::new(2, 0.3));
+        e.cluster(QueryParams::new(3, 0.6));
+        let s = e.stats();
+        assert_eq!(s.cluster_requests, 3);
+        assert_eq!(s.cluster_requests, s.cache_hits + s.cache_misses);
+    }
+
+    #[test]
+    fn sweep_on_a_small_cache_does_not_evict_hot_entries() {
+        // Grid (≈45 points) far exceeds half this cache's capacity, so
+        // the sweep must bypass the cache entirely.
+        let e = engine(4);
+        let hot = QueryParams::new(3, 0.4);
+        e.cluster(hot);
+        let before = e.stats();
+        e.sweep_best(0.1).expect("sweep");
+        let after = e.stats();
+        assert_eq!(
+            before.cache_misses, after.cache_misses,
+            "sweep must not touch the cache at this capacity"
+        );
+        assert!(after.cache_len <= after.cache_capacity);
+        // The previously hot entry survived the sweep.
+        assert!(e.cluster(hot).cached, "hot entry was evicted by a sweep");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let e = engine(16);
+        for _ in 0..3 {
+            e.cluster(QueryParams::new(2, 0.3));
+        }
+        let s = e.stats();
+        assert_eq!(s.cluster_requests, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert!(s.hit_rate() > 0.6);
+        e.clear_cache();
+        assert_eq!(e.stats().cache_len, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! # parscan-serve — concurrent query serving over a resident SCAN index
+//!
+//! The paper's central trade (§1): build the GS*-style index **once**,
+//! then answer arbitrary `(μ, ε)` SCAN queries in output-sensitive time.
+//! That shape calls for a serving layer — keep one hot [`ScanIndex`]
+//! resident and let many clients query it — which this crate provides in
+//! three layers, all `std`-only:
+//!
+//! - [`QueryEngine`] ([`engine`]): an `Arc<ScanIndex>` behind a sharded
+//!   LRU result cache ([`cache`]) keyed by *quantized* parameters — ε is
+//!   snapped to the index's similarity breakpoints, so every ε between
+//!   two consecutive stored similarity values maps to one cache entry
+//!   (distinct-but-equivalent queries are hits, not recomputes).
+//! - [`BatchExecutor`] ([`batch`]): deduplicates a mixed workload
+//!   (`cluster`, `sweep`, `stats`, vertex probes) and runs the distinct
+//!   clustering queries as one flat parallel job on
+//!   [`parscan_parallel::pool`].
+//! - [`serve`] ([`server`]): a line/JSON protocol ([`protocol`]) over
+//!   `std::net::TcpListener` — one session thread per connection,
+//!   graceful shutdown that drains in-flight sessions, and
+//!   request/latency/hit-rate counters ([`EngineStats`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use parscan_server::{serve, EngineConfig, QueryEngine};
+//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::sync::Arc;
+//!
+//! let (g, _) = parscan_graph::generators::planted_partition(200, 4, 9.0, 1.0, 1);
+//! let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
+//! let engine = Arc::new(QueryEngine::new(index, EngineConfig::default()));
+//!
+//! // In-process use: query through the cache directly.
+//! let outcome = engine.cluster(QueryParams::new(3, 0.4));
+//! assert!(!outcome.cached);
+//! assert!(engine.cluster(QueryParams::new(3, 0.4)).cached);
+//!
+//! // Or over TCP (port 0 = OS-assigned).
+//! let server = serve(engine, "127.0.0.1:0").unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! conn.write_all(b"CLUSTER 3 0.4\n").unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn).read_line(&mut line).unwrap();
+//! assert!(line.contains("\"ok\":true"));
+//! server.shutdown();
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use batch::BatchExecutor;
+pub use cache::ShardedLru;
+pub use engine::{ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest};
+pub use protocol::{parse_request, Request, Response};
+pub use server::{serve, ServerHandle};
+
+// The whole crate exists to share one index and one engine across
+// threads; enforce those bounds at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<parscan_core::ScanIndex>();
+    assert_send_sync::<QueryEngine>();
+    assert_send_sync::<ServerHandle>();
+};

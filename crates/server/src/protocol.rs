@@ -1,0 +1,414 @@
+//! The wire protocol: one-line text requests, one-line JSON responses.
+//!
+//! Requests are whitespace-separated commands (case-insensitive keyword,
+//! numeric arguments), chosen so any client — `nc`, a shell script, a
+//! driver in another language — can speak them without a serializer:
+//!
+//! ```text
+//! PING
+//! STATS
+//! CLUSTER <mu> <eps> [FULL]
+//! PROBE <vertex> <mu> <eps>
+//! SWEEP [eps_step]
+//! BATCH <cmd> ; <cmd> ; ...
+//! QUIT
+//! SHUTDOWN
+//! ```
+//!
+//! Every response is a single JSON object terminated by `\n`, always
+//! carrying `"ok"` and `"op"`. `CLUSTER … FULL` includes the complete
+//! per-vertex assignment: `"labels"` (cluster representative per vertex,
+//! `-1` for unclustered) and `"cores"` (vertex ids that are cores), which
+//! together reproduce the exact `Clustering` a direct library call
+//! returns. `BATCH` responds with `"results": [...]` in request order.
+
+use crate::engine::{ClusterOutcome, EngineStats, SweepBest};
+use parscan_core::{Clustering, QueryParams, VertexProbe, UNCLUSTERED};
+
+/// Most commands accepted in one `BATCH` — a bound on the work a single
+/// request line from an untrusted client can enqueue.
+pub const MAX_BATCH_COMMANDS: usize = 256;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    Ping,
+    Stats,
+    Cluster {
+        params: QueryParams,
+        /// Include the full per-vertex assignment in the response.
+        full: bool,
+    },
+    Probe {
+        vertex: u32,
+        params: QueryParams,
+    },
+    Sweep {
+        eps_step: f32,
+    },
+    /// A mixed workload executed by the batch executor; nested batches
+    /// are rejected at parse time.
+    Batch(Vec<Request>),
+    Quit,
+    Shutdown,
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String> {
+    let tok = tok.ok_or_else(|| format!("missing {what}"))?;
+    tok.parse::<T>().map_err(|_| format!("bad {what}: {tok:?}"))
+}
+
+fn parse_params(mu: Option<&str>, eps: Option<&str>) -> Result<QueryParams, String> {
+    let mu: u32 = parse_num(mu, "mu")?;
+    let eps: f32 = parse_num(eps, "eps")?;
+    QueryParams::try_new(mu, eps).map_err(|e| e.to_string())
+}
+
+/// Parse one request line. `BATCH` splits on `;` and parses each piece as
+/// a simple (non-batch) command.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let mut toks = line.split_whitespace();
+    let verb = toks.next().ok_or("empty request")?.to_ascii_uppercase();
+    match verb.as_str() {
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "CLUSTER" => {
+            let params = parse_params(toks.next(), toks.next())?;
+            let full = match toks.next() {
+                None => false,
+                Some(t) if t.eq_ignore_ascii_case("FULL") => true,
+                Some(t) => return Err(format!("unexpected trailing token {t:?}")),
+            };
+            Ok(Request::Cluster { params, full })
+        }
+        "PROBE" => {
+            let vertex: u32 = parse_num(toks.next(), "vertex")?;
+            let params = parse_params(toks.next(), toks.next())?;
+            Ok(Request::Probe { vertex, params })
+        }
+        "SWEEP" => {
+            let eps_step = match toks.next() {
+                None => 0.05,
+                Some(t) => t
+                    .parse::<f32>()
+                    .map_err(|_| format!("bad eps_step: {t:?}"))?,
+            };
+            Ok(Request::Sweep { eps_step })
+        }
+        "BATCH" => {
+            let rest = line
+                .split_once(char::is_whitespace)
+                .map(|x| x.1)
+                .ok_or("BATCH needs at least one command")?;
+            let mut inner = Vec::new();
+            for piece in rest.split(';') {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue;
+                }
+                if inner.len() >= MAX_BATCH_COMMANDS {
+                    return Err(format!(
+                        "BATCH too large (max {MAX_BATCH_COMMANDS} commands)"
+                    ));
+                }
+                let req = parse_request(piece)?;
+                match req {
+                    Request::Batch(_) => return Err("nested BATCH is not allowed".into()),
+                    Request::Quit | Request::Shutdown => {
+                        return Err("QUIT/SHUTDOWN cannot appear in a BATCH".into())
+                    }
+                    other => inner.push(other),
+                }
+            }
+            if inner.is_empty() {
+                return Err("BATCH needs at least one command".into());
+            }
+            Ok(Request::Batch(inner))
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// A response ready for JSON rendering.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Pong,
+    Error {
+        message: String,
+    },
+    Cluster {
+        params: QueryParams,
+        outcome: ClusterOutcome,
+        full: bool,
+    },
+    Probe {
+        vertex: u32,
+        params: QueryParams,
+        probe: VertexProbe,
+    },
+    Sweep {
+        best: SweepBest,
+    },
+    Stats {
+        engine: EngineStats,
+        graph_n: usize,
+        graph_m: usize,
+        breakpoints: usize,
+        sessions: u64,
+        session_requests: u64,
+    },
+    Batch(Vec<Response>),
+    /// Acknowledgement for QUIT / SHUTDOWN.
+    Bye {
+        shutdown: bool,
+    },
+}
+
+/// Escape a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a label array: `UNCLUSTERED` becomes `-1`.
+fn json_labels(c: &Clustering) -> String {
+    let mut out = String::with_capacity(4 * c.labels.len() + 2);
+    out.push('[');
+    for (i, &l) in c.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if l == UNCLUSTERED {
+            out.push_str("-1");
+        } else {
+            out.push_str(&l.to_string());
+        }
+    }
+    out.push(']');
+    out
+}
+
+fn json_core_ids(c: &Clustering) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (v, &is_core) in c.core.iter().enumerate() {
+        if is_core {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&v.to_string());
+        }
+    }
+    out.push(']');
+    out
+}
+
+impl Response {
+    /// Serialize as a single JSON object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        match self {
+            Response::Pong => r#"{"ok":true,"op":"pong"}"#.to_string(),
+            Response::Error { message } => format!(
+                r#"{{"ok":false,"op":"error","message":"{}"}}"#,
+                json_escape(message)
+            ),
+            Response::Cluster {
+                params,
+                outcome,
+                full,
+            } => {
+                let c = &outcome.clustering;
+                let mut out = format!(
+                    concat!(
+                        r#"{{"ok":true,"op":"cluster","mu":{},"eps":{},"eps_class":{},"#,
+                        r#""eps_snapped":{},"clusters":{},"clustered":{},"cached":{},"micros":{}"#
+                    ),
+                    params.mu,
+                    params.epsilon,
+                    outcome.eps_class,
+                    outcome.eps_snapped,
+                    c.num_clusters(),
+                    c.num_clustered(),
+                    outcome.cached,
+                    outcome.micros,
+                );
+                if *full {
+                    out.push_str(",\"labels\":");
+                    out.push_str(&json_labels(c));
+                    out.push_str(",\"cores\":");
+                    out.push_str(&json_core_ids(c));
+                }
+                out.push('}');
+                out
+            }
+            Response::Probe {
+                vertex,
+                params,
+                probe,
+            } => format!(
+                concat!(
+                    r#"{{"ok":true,"op":"probe","vertex":{},"mu":{},"eps":{},"#,
+                    r#""eps_neighborhood":{},"is_core":{},"attach_core":{}}}"#
+                ),
+                vertex,
+                params.mu,
+                params.epsilon,
+                probe.eps_neighborhood,
+                probe.is_core,
+                probe
+                    .attach_core
+                    .map_or("null".to_string(), |u| u.to_string()),
+            ),
+            Response::Sweep { best } => format!(
+                concat!(
+                    r#"{{"ok":true,"op":"sweep","mu":{},"eps":{},"modularity":{:.6},"#,
+                    r#""clusters":{},"clustered":{}}}"#
+                ),
+                best.mu, best.epsilon, best.modularity, best.num_clusters, best.num_clustered,
+            ),
+            Response::Stats {
+                engine,
+                graph_n,
+                graph_m,
+                breakpoints,
+                sessions,
+                session_requests,
+            } => format!(
+                concat!(
+                    r#"{{"ok":true,"op":"stats","n":{},"m":{},"breakpoints":{},"#,
+                    r#""cluster_requests":{},"cache_hits":{},"cache_misses":{},"#,
+                    r#""hit_rate":{:.4},"probe_requests":{},"compute_micros":{},"#,
+                    r#""cache_len":{},"cache_capacity":{},"sessions":{},"session_requests":{}}}"#
+                ),
+                graph_n,
+                graph_m,
+                breakpoints,
+                engine.cluster_requests,
+                engine.cache_hits,
+                engine.cache_misses,
+                engine.hit_rate(),
+                engine.probe_requests,
+                engine.compute_micros,
+                engine.cache_len,
+                engine.cache_capacity,
+                sessions,
+                session_requests,
+            ),
+            Response::Batch(results) => {
+                let mut out = String::from(r#"{"ok":true,"op":"batch","results":["#);
+                for (i, r) in results.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&r.render_json());
+                }
+                out.push_str("]}");
+                out
+            }
+            Response::Bye { shutdown } => {
+                format!(r#"{{"ok":true,"op":"bye","shutdown":{shutdown}}}"#)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("  STATS  "), Ok(Request::Stats));
+        assert_eq!(parse_request("quit"), Ok(Request::Quit));
+        assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request("CLUSTER 3 0.5"),
+            Ok(Request::Cluster {
+                params: QueryParams::new(3, 0.5),
+                full: false
+            })
+        );
+        assert_eq!(
+            parse_request("cluster 2 0.25 full"),
+            Ok(Request::Cluster {
+                params: QueryParams::new(2, 0.25),
+                full: true
+            })
+        );
+        assert_eq!(
+            parse_request("PROBE 17 4 0.6"),
+            Ok(Request::Probe {
+                vertex: 17,
+                params: QueryParams::new(4, 0.6)
+            })
+        );
+        assert!(matches!(parse_request("SWEEP"), Ok(Request::Sweep { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE").is_err());
+        assert!(parse_request("CLUSTER").is_err());
+        assert!(parse_request("CLUSTER x 0.5").is_err());
+        assert!(parse_request("CLUSTER 3 0.5 EXTRA").is_err());
+        // Domain validation happens at parse time via try_new.
+        assert!(parse_request("CLUSTER 1 0.5").is_err());
+        assert!(parse_request("CLUSTER 2 1.5").is_err());
+        assert!(parse_request("PROBE 1 2").is_err());
+    }
+
+    #[test]
+    fn parses_batches() {
+        let req = parse_request("BATCH CLUSTER 2 0.3 ; CLUSTER 3 0.5 FULL; PROBE 0 2 0.4").unwrap();
+        match req {
+            Request::Batch(inner) => {
+                assert_eq!(inner.len(), 3);
+                assert!(matches!(inner[0], Request::Cluster { full: false, .. }));
+                assert!(matches!(inner[1], Request::Cluster { full: true, .. }));
+                assert!(matches!(inner[2], Request::Probe { vertex: 0, .. }));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert!(parse_request("BATCH").is_err());
+        // Batch size is capped against untrusted clients.
+        let huge = format!("BATCH {}", vec!["PING"; MAX_BATCH_COMMANDS + 1].join(" ; "));
+        assert!(parse_request(&huge).unwrap_err().contains("too large"));
+        let max = format!("BATCH {}", vec!["PING"; MAX_BATCH_COMMANDS].join(" ; "));
+        assert!(parse_request(&max).is_ok());
+        assert!(parse_request("BATCH ;;").is_err());
+        assert!(parse_request("BATCH QUIT").is_err());
+        assert!(parse_request("BATCH BATCH PING").is_err());
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        assert_eq!(Response::Pong.render_json(), r#"{"ok":true,"op":"pong"}"#);
+        let err = Response::Error {
+            message: "bad \"quote\"\nline".into(),
+        };
+        assert_eq!(
+            err.render_json(),
+            r#"{"ok":false,"op":"error","message":"bad \"quote\"\nline"}"#
+        );
+        let c = Clustering::new(vec![0, 0, UNCLUSTERED, 3], vec![true, false, false, true]);
+        assert_eq!(json_labels(&c), "[0,0,-1,3]");
+        assert_eq!(json_core_ids(&c), "[0,3]");
+    }
+}

@@ -1,0 +1,434 @@
+//! The TCP serving loop: per-connection sessions over `std::net`, a
+//! graceful shutdown path, and server-level counters.
+//!
+//! One thread per connection reads newline-terminated requests, executes
+//! them against the shared [`QueryEngine`], and writes one JSON line per
+//! request. Connection reads use a short timeout so every session thread
+//! notices the shutdown flag promptly; `shutdown()` (or a client's
+//! `SHUTDOWN` command) flips the flag, unblocks the acceptor with a
+//! loopback connection, and joins every session before returning, so no
+//! request is dropped mid-write.
+
+use crate::batch::BatchExecutor;
+use crate::engine::QueryEngine;
+use crate::protocol::{parse_request, Request, Response};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared server state.
+struct ServerShared {
+    engine: Arc<QueryEngine>,
+    shutdown: AtomicBool,
+    /// Total sessions ever accepted.
+    sessions: AtomicU64,
+}
+
+impl ServerShared {
+    fn stats_response(&self, session_requests: u64) -> Response {
+        let g = self.engine.index().graph();
+        Response::Stats {
+            engine: self.engine.stats(),
+            graph_n: g.num_vertices(),
+            graph_m: g.num_edges(),
+            breakpoints: self.engine.num_breakpoints(),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            session_requests,
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or send `SHUTDOWN` over a connection and
+/// [`ServerHandle::wait`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0: the OS picks a free port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.shared.engine
+    }
+
+    /// Request shutdown and block until the acceptor and every session
+    /// thread have exited.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the server stops on its own (a client sent
+    /// `SHUTDOWN`).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Bind `addr` and serve `engine` until shutdown. Returns once the
+/// listener is bound and accepting, so callers may connect immediately.
+pub fn serve(engine: Arc<QueryEngine>, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(ServerShared {
+        engine,
+        shutdown: AtomicBool::new(false),
+        sessions: AtomicU64::new(0),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("parscan-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))
+        .expect("failed to spawn acceptor");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
+    // Only this thread touches the handle list; sessions are joined here
+    // on shutdown so no request is dropped mid-write.
+    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Persistent accept errors (e.g. EMFILE under fd exhaustion)
+            // would otherwise spin this thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let session_id = shared.sessions.fetch_add(1, Ordering::Relaxed);
+        let session_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("parscan-serve-session-{session_id}"))
+            .spawn(move || session_loop(stream, session_shared))
+            .expect("failed to spawn session");
+        // Opportunistically reap finished sessions so the vec stays small
+        // on long-running servers.
+        sessions.retain(|h| !h.is_finished());
+        sessions.push(handle);
+    }
+    // Drain every live session before reporting the server stopped.
+    for h in sessions {
+        let _ = h.join();
+    }
+}
+
+/// Longest accepted request line. Untrusted clients must not be able to
+/// grow a session buffer without bound by never sending a newline.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Append one newline-terminated line to `line`, enforcing
+/// [`MAX_LINE_BYTES`] *while accumulating* — `BufRead::read_line` would
+/// buffer a continuously streamed newline-free payload in full before
+/// any cap could fire. Returns the line length on success, `Ok(0)` on
+/// EOF; `WouldBlock`/`TimedOut` propagate with the partial line retained
+/// in `line`, and an over-long line yields `ErrorKind::InvalidData`.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. A partial unterminated line is dropped by the caller.
+            return Ok(0);
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..=i], true),
+            None => (buf, false),
+        };
+        // The protocol is ASCII; lossy conversion keeps framing intact
+        // for any bytes a client sends.
+        line.push_str(&String::from_utf8_lossy(chunk));
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("request exceeds {MAX_LINE_BYTES} bytes"),
+            ));
+        }
+        if done {
+            return Ok(line.len());
+        }
+    }
+}
+
+/// Serve one connection until QUIT/SHUTDOWN, EOF, I/O error, or server
+/// shutdown.
+fn session_loop(stream: TcpStream, shared: Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeout: the loop polls the shutdown flag between reads.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut session_requests = 0u64;
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_bounded_line(&mut reader, &mut line) {
+            Ok(0) => return, // EOF: client hung up
+            Ok(_) => {}
+            // Timeout mid-request: the partial line stays in `line`; keep
+            // polling the shutdown flag and resume reading.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                let err = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = writer.write_all(format!("{}\n", err.render_json()).as_bytes());
+                let _ = writer.flush();
+                // Closing with unread inbound bytes raises TCP RST, which
+                // can discard the error response before the client reads
+                // it. Drain a bounded amount so a merely-confused client
+                // gets the message and a clean FIN; a hostile streamer
+                // still gets cut off.
+                let mut sink = [0u8; 8192];
+                let mut drained = 0usize;
+                while drained < (1 << 20) {
+                    match std::io::Read::read(reader.get_mut(), &mut sink) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => drained += n,
+                    }
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            line.clear();
+            continue;
+        }
+        session_requests += 1;
+
+        let (response, control) = handle_line(&line, &shared, session_requests);
+        line.clear();
+        let mut payload = response.render_json();
+        payload.push('\n');
+        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        match control {
+            Control::Continue => {}
+            Control::Close => return,
+            Control::ShutdownServer => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the acceptor so it can drain sessions and exit.
+                if let Ok(local) = reader.get_ref().local_addr() {
+                    let _ = TcpStream::connect(local);
+                }
+                return;
+            }
+        }
+    }
+}
+
+enum Control {
+    Continue,
+    Close,
+    ShutdownServer,
+}
+
+fn handle_line(
+    line: &str,
+    shared: &Arc<ServerShared>,
+    session_requests: u64,
+) -> (Response, Control) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(message) => return (Response::Error { message }, Control::Continue),
+    };
+    let engine = &shared.engine;
+    match request {
+        Request::Ping => (Response::Pong, Control::Continue),
+        Request::Stats => (shared.stats_response(session_requests), Control::Continue),
+        Request::Cluster { params, full } => (
+            Response::Cluster {
+                params,
+                outcome: engine.cluster(params),
+                full,
+            },
+            Control::Continue,
+        ),
+        Request::Probe { vertex, params } => (
+            match engine.probe(vertex, params) {
+                Ok(probe) => Response::Probe {
+                    vertex,
+                    params,
+                    probe,
+                },
+                Err(message) => Response::Error { message },
+            },
+            Control::Continue,
+        ),
+        Request::Sweep { eps_step } => (
+            match engine.sweep_best(eps_step) {
+                Ok(best) => Response::Sweep { best },
+                Err(message) => Response::Error { message },
+            },
+            Control::Continue,
+        ),
+        Request::Batch(inner) => {
+            let responses = BatchExecutor::new(engine)
+                .execute(&inner, || shared.stats_response(session_requests));
+            (Response::Batch(responses), Control::Continue)
+        }
+        Request::Quit => (Response::Bye { shutdown: false }, Control::Close),
+        Request::Shutdown => (Response::Bye { shutdown: true }, Control::ShutdownServer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use parscan_core::{IndexConfig, ScanIndex};
+    use parscan_graph::generators;
+    use std::io::BufRead;
+
+    fn spawn_server() -> ServerHandle {
+        let (g, _) = generators::planted_partition(200, 4, 9.0, 1.0, 5);
+        let engine = Arc::new(QueryEngine::new(
+            Arc::new(ScanIndex::build(g, IndexConfig::default())),
+            EngineConfig::default(),
+        ));
+        serve(engine, "127.0.0.1:0").expect("bind")
+    }
+
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for l in lines {
+            stream.write_all(l.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream);
+        reader
+            .lines()
+            .take(lines.len())
+            .map(|l| l.expect("response line"))
+            .collect()
+    }
+
+    #[test]
+    fn ping_stats_and_errors() {
+        let server = spawn_server();
+        let out = roundtrip(server.addr(), &["PING", "NONSENSE", "STATS", "QUIT"]);
+        assert_eq!(out[0], r#"{"ok":true,"op":"pong"}"#);
+        assert!(out[1].starts_with(r#"{"ok":false,"op":"error""#));
+        assert!(out[2].contains(r#""op":"stats""#));
+        assert!(out[2].contains(r#""n":200"#));
+        assert!(out[3].contains(r#""op":"bye""#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn cluster_roundtrip_and_cache_flag() {
+        let server = spawn_server();
+        let out = roundtrip(server.addr(), &["CLUSTER 3 0.4", "CLUSTER 3 0.4", "QUIT"]);
+        assert!(out[0].contains(r#""cached":false"#), "{}", out[0]);
+        assert!(out[1].contains(r#""cached":true"#), "{}", out[1]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = spawn_server();
+        let addr = server.addr();
+        let out = roundtrip(addr, &["SHUTDOWN"]);
+        assert!(out[0].contains(r#""shutdown":true"#));
+        server.wait();
+        // The listener is gone: new connections are refused (or reset).
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = TcpStream::connect(addr).is_err();
+        assert!(refused, "listener should be closed after SHUTDOWN");
+    }
+
+    #[test]
+    fn slow_client_split_across_read_timeouts_is_not_mangled() {
+        // Regression: a request arriving in pieces slower than the 100ms
+        // poll timeout used to lose its first fragment (the loop cleared
+        // the buffer after a WouldBlock), mis-framing the stream.
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"CLUSTER 3").unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        stream.write_all(b" 0.4\nQUIT\n").unwrap();
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().take(2).map(|l| l.unwrap()).collect();
+        assert!(
+            lines[0].contains(r#""op":"cluster""#) && lines[0].contains(r#""mu":3"#),
+            "split request mangled: {}",
+            lines[0]
+        );
+        assert!(lines[1].contains(r#""op":"bye""#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_closed() {
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Stream well past the cap without ever sending a newline. The
+        // server may reject and close mid-stream (that's the point), so
+        // later writes are allowed to fail with EPIPE/ECONNRESET.
+        let chunk = vec![b'A'; 32 * 1024];
+        for _ in 0..3 {
+            if stream.write_all(&chunk).is_err() {
+                break;
+            }
+        }
+        let _ = stream.flush();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("exceeds"), "{line}");
+        // The session closed: the next read hits EOF.
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn handle_shutdown_joins_sessions() {
+        let server = spawn_server();
+        let addr = server.addr();
+        // An idle open connection must not block shutdown.
+        let _idle = TcpStream::connect(addr).unwrap();
+        server.shutdown();
+    }
+}

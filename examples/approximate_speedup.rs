@@ -28,10 +28,7 @@ fn main() {
         .labels_with_singletons();
     println!("exact build: {t_exact:.2?}");
 
-    println!(
-        "{:>7} {:>12} {:>9} {:>8}",
-        "k", "build", "speedup", "ARI"
-    );
+    println!("{:>7} {:>12} {:>9} {:>8}", "k", "build", "speedup", "ARI");
     for k in [16usize, 32, 64, 128, 256] {
         let config = ApproxConfig {
             method: ApproxMethod::SimHashCosine,

@@ -27,8 +27,7 @@ use std::time::Instant;
 
 fn main() {
     let n = 6_000;
-    let (g, _) =
-        parscan::graph::generators::weighted_planted_partition(n, 30, 160.0, 8.0, 3);
+    let (g, _) = parscan::graph::generators::weighted_planted_partition(n, 30, 160.0, 8.0, 3);
     println!(
         "weighted graph: {} vertices, {} edges (avg degree {:.0})",
         g.num_vertices(),

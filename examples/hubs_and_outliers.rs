@@ -46,7 +46,10 @@ fn main() {
     // Pendant vertices: one random attachment each.
     let pendant_base = bridge_base + n_bridges as u32;
     for p in 0..n_pendants as u32 {
-        edges.push((pendant_base + p, rng.gen_range(0..(communities * size) as u32)));
+        edges.push((
+            pendant_base + p,
+            rng.gen_range(0..(communities * size) as u32),
+        ));
     }
 
     let g = parscan::graph::from_edges(n, &edges);

@@ -15,8 +15,7 @@ use std::time::Instant;
 
 fn main() {
     // Dense weighted tissue-network regime: the expensive-to-index case.
-    let (g, _) =
-        parscan::graph::generators::weighted_planted_partition(8_000, 40, 140.0, 6.0, 7);
+    let (g, _) = parscan::graph::generators::weighted_planted_partition(8_000, 40, 140.0, 6.0, 7);
     println!(
         "graph: {} vertices, {} edges",
         g.num_vertices(),

@@ -12,8 +12,7 @@ use parscan::prelude::*;
 fn main() {
     // Dense weighted planted partition: small n, high average degree,
     // probability-like weights — the tissue-network regime.
-    let (g, truth) =
-        parscan::graph::generators::weighted_planted_partition(1500, 12, 70.0, 8.0, 3);
+    let (g, truth) = parscan::graph::generators::weighted_planted_partition(1500, 12, 70.0, 8.0, 3);
     println!(
         "weighted network: {} vertices, {} edges (avg degree {:.0})",
         g.num_vertices(),

@@ -9,6 +9,8 @@
 //! parscan cluster  <graph|index> --mu M --eps E    one SCAN clustering
 //!                  [--jaccard] [--approx K] [--out FILE]
 //! parscan sweep    <graph|index> [--eps-step S]    grid-search best modularity
+//! parscan serve    <graph|index> --port P          TCP query server over a
+//!                  [--host H] [--cache N]          resident index
 //! parscan convert  <in> <out>                      convert between formats
 //! parscan generate <kind> --n N --out FILE         synthetic graphs
 //!                  (kinds: rmat, er, sbm, wsbm)
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("convert") => cmd_convert(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("--help" | "-h") | None => {
@@ -54,6 +57,7 @@ const USAGE: &str = "usage:
   parscan index    <graph> --out FILE.pscidx [--jaccard] [--approx K]
   parscan cluster  <graph|index.pscidx> --mu M --eps E [--jaccard] [--approx K] [--out FILE]
   parscan sweep    <graph|index.pscidx> [--eps-step S]
+  parscan serve    <graph|index.pscidx> --port P [--host H] [--cache N] [--jaccard] [--approx K]
   parscan convert  <in> <out>          (formats by extension: .bin, .graph/.metis, text)
   parscan generate (rmat|er|sbm|wsbm) --n N [--deg D] [--seed S] --out FILE";
 
@@ -142,7 +146,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let s = parscan::graph::stats::graph_stats(&g);
     println!("vertices     {}", s.n);
     println!("edges        {}", s.m);
-    println!("degrees      min {} / avg {:.2} / max {}", s.min_degree, s.avg_degree, s.max_degree);
+    println!(
+        "degrees      min {} / avg {:.2} / max {}",
+        s.min_degree, s.avg_degree, s.max_degree
+    );
     println!("triangles    {}", s.triangles);
     println!("degeneracy   {}", s.degeneracy);
     println!("components   {}", s.components);
@@ -176,10 +183,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     let eps: f32 = parse(args, "--eps")?.ok_or("--eps is required (ε ∈ [0,1])")?;
     let index = load_or_build_index(path, args)?;
 
-    let clustering = index.cluster_with(
-        QueryParams::new(mu, eps),
-        BorderAssignment::MostSimilar,
-    );
+    let params = QueryParams::try_new(mu, eps).map_err(|e| e.to_string())?;
+    let clustering = index.cluster_with(params, BorderAssignment::MostSimilar);
     let roles = classify_roles(index.graph(), &clustering);
     println!(
         "clusters {}  |  {:?}  |  modularity {:.4}",
@@ -256,6 +261,38 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+
+    let path = args.first().ok_or("serve needs a graph or index path")?;
+    let port: u16 = parse(args, "--port")?.ok_or("--port is required")?;
+    let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let cache: usize = parse(args, "--cache")?.unwrap_or(128);
+
+    let index = Arc::new(load_or_build_index(path, args)?);
+    let n = index.graph().num_vertices();
+    let m = index.graph().num_edges();
+    let engine = Arc::new(QueryEngine::new(
+        index,
+        EngineConfig {
+            cache_capacity: cache,
+            ..Default::default()
+        },
+    ));
+    let server = serve(engine, (host.as_str(), port))
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    println!(
+        "serving {n} vertices / {m} edges on {} ({} ε-breakpoints, cache {cache}); \
+         line protocol: CLUSTER/PROBE/SWEEP/STATS/BATCH/PING/QUIT/SHUTDOWN",
+        server.addr(),
+        server.engine().num_breakpoints(),
+    );
+    // Runs until a client sends SHUTDOWN.
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}
+
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let [input, output] = args else {
         return Err("convert needs exactly <in> <out>".into());
@@ -272,7 +309,9 @@ fn cmd_convert(args: &[String]) -> Result<(), String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     use parscan::graph::generators as gen;
-    let kind = args.first().ok_or("generate needs a kind (rmat|er|sbm|wsbm)")?;
+    let kind = args
+        .first()
+        .ok_or("generate needs a kind (rmat|er|sbm|wsbm)")?;
     let out = flag(args, "--out").ok_or("--out is required")?;
     let n: usize = parse(args, "--n")?.unwrap_or(10_000);
     let deg: f64 = parse(args, "--deg")?.unwrap_or(16.0);

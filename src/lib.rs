@@ -19,6 +19,9 @@
 //! - [`metrics`] — modularity, ARI & NMI ([`parscan_metrics`])
 //! - [`parallel`] — the fork-join substrate: flat pool, primitives, and a
 //!   nested work-stealing `join` ([`parscan_parallel`])
+//! - [`server`] — concurrent query serving: a cached [`QueryEngine`]
+//!   over a resident index, batched execution, and a TCP line/JSON
+//!   protocol ([`parscan_server`])
 //!
 //! ## Quick start
 //!
@@ -44,13 +47,15 @@ pub use parscan_dense as dense;
 pub use parscan_graph as graph;
 pub use parscan_metrics as metrics;
 pub use parscan_parallel as parallel;
+pub use parscan_server as server;
 
 /// The types most programs need.
 pub mod prelude {
     pub use parscan_approx::{build_approx_index, ApproxConfig, ApproxMethod};
     pub use parscan_core::{
-        BorderAssignment, Clustering, CoreConnectivity, IndexConfig, QueryOptions, QueryParams,
-        ScanIndex, SimilarityMeasure, VertexRole, UNCLUSTERED,
+        BorderAssignment, Clustering, CoreConnectivity, IndexConfig, QueryOptions, QueryParamError,
+        QueryParams, ScanIndex, SimilarityMeasure, VertexProbe, VertexRole, UNCLUSTERED,
     };
     pub use parscan_graph::{CsrGraph, VertexId};
+    pub use parscan_server::{serve, EngineConfig, QueryEngine, ServerHandle};
 }

@@ -44,10 +44,8 @@ fn full_grid_check(g: &parscan::graph::CsrGraph, measure: SimilarityMeasure) {
             let want = original_scan(g, measure, mu, eps);
             let got_index = index.cluster(QueryParams::new(mu, eps));
             assert_equivalent("parallel-index", &want, &got_index);
-            let got_ms = index.cluster_with(
-                QueryParams::new(mu, eps),
-                BorderAssignment::MostSimilar,
-            );
+            let got_ms =
+                index.cluster_with(QueryParams::new(mu, eps), BorderAssignment::MostSimilar);
             assert_equivalent("parallel-index-most-similar", &want, &got_ms);
             let got_gs = gs.query(mu, eps);
             assert_equivalent("gs-index", &want, &got_gs);

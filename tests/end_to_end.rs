@@ -39,8 +39,7 @@ fn text_io_preserves_clustering() {
     let g = parscan::graph::generators::rmat(8, 6, 13);
     let path = tmp("text");
     parscan::graph::io::write_edge_list_text(&g, &path).unwrap();
-    let reloaded =
-        parscan::graph::io::read_edge_list_text(&path, Some(g.num_vertices())).unwrap();
+    let reloaded = parscan::graph::io::read_edge_list_text(&path, Some(g.num_vertices())).unwrap();
     std::fs::remove_file(&path).ok();
 
     let a = ScanIndex::build(g, IndexConfig::default())

@@ -43,7 +43,10 @@ fn save_load_query_pipeline() {
     let qb = modularity(loaded.graph(), &b.labels_with_singletons());
     assert_eq!(qa, qb);
     let ari = adjusted_rand_index(&b.labels_with_singletons(), &truth);
-    assert!(ari > 0.3, "planted structure should be visible, ARI = {ari}");
+    assert!(
+        ari > 0.3,
+        "planted structure should be visible, ARI = {ari}"
+    );
     std::fs::remove_file(path).ok();
 }
 
@@ -193,10 +196,7 @@ fn dynamic_update_then_persist_round_trip() {
 fn fork_join_sort_agrees_with_flat_sort_on_graph_data() {
     // Sort the edge similarity pairs with both substrate sorts.
     let g = parscan::graph::generators::rmat(9, 8, 11);
-    let sims = parscan::core::similarity_exact::compute_merge_based(
-        &g,
-        SimilarityMeasure::Cosine,
-    );
+    let sims = parscan::core::similarity_exact::compute_merge_based(&g, SimilarityMeasure::Cosine);
     let mut a: Vec<(u32, u32)> = (0..g.num_slots())
         .map(|s| (sims.slot(s).to_bits(), s as u32))
         .collect();
