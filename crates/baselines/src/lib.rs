@@ -1,8 +1,9 @@
 //! The comparison systems of the paper's evaluation (§7.1), reimplemented
 //! from their defining papers:
 //!
-//! - [`original_scan`] — the original sequential SCAN of Xu et al. (KDD
-//!   2007): per-edge similarity computation plus a modified BFS.
+//! - [`original_scan`](mod@original_scan) — the original sequential SCAN
+//!   of Xu et al. (KDD 2007): per-edge similarity computation plus a
+//!   modified BFS.
 //! - [`gs_index`] — the sequential GS*-Index of Wen et al. (VLDB 2017):
 //!   the index this paper parallelizes; its construction and query times
 //!   are the sequential baselines of Figures 5–7.

@@ -1,5 +1,6 @@
 //! Serving-layer benchmark: queries/sec cold vs. cache-hot, batch vs.
-//! sequential execution, and TCP round-trip latency on the hot path.
+//! sequential execution, coalescing under cold-miss contention, and TCP
+//! round-trip latency on the hot path.
 //!
 //! Run with `cargo bench -p parscan-bench --bench server`. Scale the
 //! input with `PARSCAN_SCALE` (default 1.0). Emits a human-readable
@@ -8,7 +9,9 @@
 
 use parscan_core::{BorderAssignment, IndexConfig, QueryOptions, QueryParams, ScanIndex};
 use parscan_graph::generators;
-use parscan_server::{serve, BatchExecutor, EngineConfig, QueryEngine, Request, Response};
+use parscan_server::{
+    serve_engine, BatchExecutor, EngineConfig, GraphRegistry, QueryEngine, Request, Response,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -112,6 +115,7 @@ fn main() {
         .cycle()
         .take(points.len() * 3)
         .map(|&params| Request::Cluster {
+            graph: None,
             params,
             full: false,
         })
@@ -127,8 +131,11 @@ fn main() {
         }
     });
     engine.clear_cache();
+    // The registry hosts the same engine instance, so cache/counter
+    // state carries across scenarios exactly as before.
+    let registry = GraphRegistry::single(Arc::clone(&engine));
     let (batch_secs, responses) =
-        secs(|| BatchExecutor::new(&engine).execute(&workload, || Response::Pong));
+        secs(|| BatchExecutor::new(&registry).execute(&workload, |_| Response::Pong));
     assert_eq!(responses.len(), workload.len());
     let batch_speedup = seq_secs / batch_secs;
     println!(
@@ -140,8 +147,49 @@ fn main() {
         points.len()
     );
 
+    // --- In-flight coalescing under cold-miss contention ---------------
+    // N session threads fire the identical cold (μ, ε) at the same
+    // instant. Without coalescing every thread computes; with the
+    // in-flight table exactly one does and the rest block on its result,
+    // so contended wall time tracks one computation, not N. On a 1-core
+    // box `coalesce_waits` may read 0 — the leader finishes before any
+    // follower is scheduled, so followers land as cache hits — but
+    // `coalesce_computations` must be 1 regardless of interleaving.
+    const COALESCE_THREADS: usize = 8;
+    // A low-ε point selects almost every edge, making the contended
+    // computation heavy enough that followers genuinely overlap it.
+    let contended = QueryParams::new(2, 0.05);
+    engine.clear_cache();
+    let before = engine.stats();
+    let barrier = std::sync::Barrier::new(COALESCE_THREADS);
+    let (coalesce_secs, _) = secs(|| {
+        std::thread::scope(|s| {
+            for _ in 0..COALESCE_THREADS {
+                let (engine, barrier) = (&engine, &barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    std::hint::black_box(engine.cluster(contended));
+                });
+            }
+        });
+    });
+    let after = engine.stats();
+    let coalesce_computations = after.cache_misses - before.cache_misses;
+    let coalesce_waits = after.coalesced_waits - before.coalesced_waits;
+    // Reference: the same computation uncontended and cold.
+    engine.clear_cache();
+    let (single_cold_secs, _) = secs(|| std::hint::black_box(engine.cluster(contended)));
+    println!(
+        "coalescing: {COALESCE_THREADS} concurrent cold misses -> {} computation(s), \
+         {} coalesced wait(s); contended wall {:.1}µs vs single cold {:.1}µs",
+        coalesce_computations,
+        coalesce_waits,
+        coalesce_secs * 1e6,
+        single_cold_secs * 1e6,
+    );
+
     // --- TCP round-trip latency on the hot path -----------------------
-    let server = serve(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
+    let server = serve_engine(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut line = String::new();
@@ -169,6 +217,8 @@ fn main() {
             r#""qps_cold":{:.2},"qps_hot":{:.2},"hot_speedup":{:.2},"#,
             r#""seq_secs":{:.6},"batch_secs":{:.6},"batch_speedup":{:.3},"#,
             r#""labels_only_speedup":{:.3},"#,
+            r#""coalesce_threads":{},"coalesce_computations":{},"coalesce_waits":{},"#,
+            r#""coalesce_wall_micros":{:.2},"single_cold_micros":{:.2},"#,
             r#""tcp_hot_rtt_micros":{:.2},"cache_hit_rate":{:.4}}}"#
         ),
         n,
@@ -181,6 +231,11 @@ fn main() {
         batch_secs,
         batch_speedup,
         labels_speedup,
+        COALESCE_THREADS,
+        coalesce_computations,
+        coalesce_waits,
+        coalesce_secs * 1e6,
+        single_cold_secs * 1e6,
         rtt_micros,
         stats.hit_rate(),
     );

@@ -3,7 +3,7 @@
 //! μ ∈ {2, 4, …, 2^18} × ε ∈ {.01, …, .99}; the defaults here keep the
 //! same shape with a coarser ε step (override with `PARSCAN_EPS_STEP`).
 //!
-//! The sweep itself is the library's [`parscan_core::sweep`] engine —
+//! The sweep itself is the library's [`parscan_core::sweep()`] engine —
 //! grid points run in parallel against the shared index.
 
 use parscan_core::sweep::{sweep, SweepGrid};

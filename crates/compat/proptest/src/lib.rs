@@ -150,7 +150,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// A length specification for [`vec`]: an exact length or a
+    /// A length specification for [`vec()`]: an exact length or a
     /// half-open/inclusive range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {

@@ -59,6 +59,27 @@ impl QueryParams {
     /// Validating constructor: `μ ≥ 2` and `ε ∈ [0, 1]` (the paper's
     /// domain). The fallible entry point for parameters arriving from
     /// CLIs, network clients, and other untrusted sources.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parscan_core::{QueryParamError, QueryParams};
+    ///
+    /// let p = QueryParams::try_new(3, 0.5).unwrap();
+    /// assert_eq!((p.mu, p.epsilon), (3, 0.5));
+    ///
+    /// // Out-of-domain parameters are structured errors, not panics.
+    /// assert_eq!(
+    ///     QueryParams::try_new(1, 0.5),
+    ///     Err(QueryParamError::MuTooSmall { mu: 1 })
+    /// );
+    /// assert!(matches!(
+    ///     QueryParams::try_new(2, 1.5),
+    ///     Err(QueryParamError::EpsilonOutOfRange { .. })
+    /// ));
+    /// // NaN is rejected too.
+    /// assert!(QueryParams::try_new(2, f32::NAN).is_err());
+    /// ```
     pub fn try_new(mu: u32, epsilon: f32) -> Result<Self, QueryParamError> {
         if mu < 2 {
             return Err(QueryParamError::MuTooSmall { mu });

@@ -20,7 +20,7 @@
 //! # Safety
 //!
 //! Published tasks are lifetime-erased pointers to stack frames
-//! ([`StackJob`]); this is sound because `join` never returns (or unwinds)
+//! (`StackJob`); this is sound because `join` never returns (or unwinds)
 //! past the frame until the task was either reclaimed-and-run inline or
 //! its completion latch is set by the thief. Panics inside either closure
 //! are caught, carried across threads, and re-thrown at the join point.

@@ -9,7 +9,7 @@
 //! - a persistent [`pool`] of worker threads executing flat fork-join loops,
 //! - [`primitives`]: parallel for, map, and reduce,
 //! - [`prefix`]: parallel (exclusive) scan,
-//! - [`filter`]: parallel filter/pack,
+//! - [`filter`](mod@filter): parallel filter/pack,
 //! - [`sort`]: parallel comparison sort (chunk sort + co-rank parallel merge),
 //! - [`radix`]: parallel stable LSD integer sort (the Thm 4.2 ingredient),
 //! - [`hashtable`]: phase-concurrent open-addressing hash set/map,

@@ -251,6 +251,16 @@ pub fn global() -> &'static ThreadPool {
     })
 }
 
+/// Whether the current thread is a pool worker (or is itself inside a
+/// [`ThreadPool::run`] call). Nested parallel calls collapse to
+/// sequential on such threads; layers that might otherwise *block* on
+/// another thread's work (e.g. request coalescing in the serving layer)
+/// use this to fall back to direct computation, since a blocked worker
+/// stalls the whole pool.
+pub fn in_pool() -> bool {
+    IN_POOL.with(|c| c.get())
+}
+
 /// Number of threads the global pool currently uses per job.
 pub fn num_threads() -> usize {
     global().active_threads()

@@ -3,59 +3,115 @@
 //! back out in request order.
 //!
 //! Batching matters for two reasons. First, *deduplication*: concurrent
-//! misses on the same `(μ, ε)` class would each compute the clustering;
-//! inside a batch the computation happens exactly once and every
-//! duplicate shares the `Arc`. Second, *parallelism across queries*: a
-//! single query already parallelizes internally, but many small queries
-//! are dominated by per-query fixed costs — running the distinct set as
-//! one flat parallel job over `parscan_parallel::pool` overlaps them
-//! (nested parallel calls inside each query degrade to sequential, so
-//! batch-level parallelism composes safely with query-level).
+//! misses on the same `(graph, μ, ε-class)` would each compute the
+//! clustering; inside a batch the computation happens exactly once and
+//! every duplicate shares the `Arc`. Second, *parallelism across
+//! queries*: a single query already parallelizes internally, but many
+//! small queries are dominated by per-query fixed costs — running the
+//! distinct set as one flat parallel job over `parscan_parallel::pool`
+//! overlaps them (nested parallel calls inside each query degrade to
+//! sequential, so batch-level parallelism composes safely with
+//! query-level).
+//!
+//! A batch may mix graphs — each command resolves through the
+//! [`GraphRegistry`] — but it can never mutate the registry:
+//! `LOAD`/`UNLOAD` are rejected at parse time, so a batch only ever
+//! reads resident indexes.
+//!
+//! # Examples
+//!
+//! ```
+//! use parscan_server::{BatchExecutor, GraphRegistry, Request, Response};
+//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+//! use std::sync::Arc;
+//!
+//! let registry = GraphRegistry::new("main", Default::default());
+//! let (g, _) = parscan_graph::generators::planted_partition(150, 3, 8.0, 1.0, 11);
+//! registry.install("main", ScanIndex::build(g, IndexConfig::default())).unwrap();
+//!
+//! let p = QueryParams::new(3, 0.4);
+//! let batch = vec![
+//!     Request::Cluster { graph: None, params: p, full: false },
+//!     Request::Cluster { graph: None, params: p, full: false }, // duplicate
+//! ];
+//! let responses = BatchExecutor::new(&registry).execute(&batch, |_| Response::Pong);
+//! let [Response::Cluster { outcome: a, .. }, Response::Cluster { outcome: b, .. }] =
+//!     &responses[..] else { panic!() };
+//! // The duplicate shared the first computation's allocation.
+//! assert!(Arc::ptr_eq(&a.clustering, &b.clustering));
+//! ```
 
 use crate::engine::{ClusterOutcome, QueryEngine};
 use crate::protocol::{Request, Response};
+use crate::registry::GraphRegistry;
 use parscan_parallel::primitives::par_map;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Executes [`Request::Batch`] workloads against one engine.
-pub struct BatchExecutor<'e> {
-    engine: &'e QueryEngine,
+/// Executes [`Request::Batch`] workloads against a [`GraphRegistry`].
+pub struct BatchExecutor<'r> {
+    registry: &'r GraphRegistry,
 }
 
-impl<'e> BatchExecutor<'e> {
-    pub fn new(engine: &'e QueryEngine) -> Self {
-        BatchExecutor { engine }
+/// Per-request execution plan for the clustering commands.
+enum Plan {
+    /// Runs (or shares) distinct computation `slot`; the representative
+    /// is the request whose execution metadata (cached, micros)
+    /// describes what actually ran.
+    Cluster {
+        slot: usize,
+        representative: bool,
+        graph: String,
+    },
+    /// Graph resolution failed at planning time.
+    Error(String),
+    /// Everything that is not a clustering query; handled at fan-out.
+    Other,
+}
+
+impl<'r> BatchExecutor<'r> {
+    pub fn new(registry: &'r GraphRegistry) -> Self {
+        BatchExecutor { registry }
     }
 
     /// Execute `requests`, returning one response per request in order.
-    /// `stats` supplies the response for embedded `STATS` commands (the
-    /// caller owns session bookkeeping this module knows nothing about).
+    /// `stats` supplies the response for embedded `STATS` commands, given
+    /// the command's graph address (the caller owns session bookkeeping
+    /// this module knows nothing about).
     pub fn execute<F>(&self, requests: &[Request], stats: F) -> Vec<Response>
     where
-        F: Fn() -> Response,
+        F: Fn(Option<&str>) -> Response,
     {
-        // Deduplicate clustering work by (μ, ε-class): one execution per
-        // distinct key, shared by every duplicate in the batch.
-        let mut distinct: Vec<&Request> = Vec::new();
-        let mut key_to_slot: HashMap<(u32, u32), usize> = HashMap::new();
-        // `Some((slot, is_representative))` for cluster requests: the
-        // representative is the request whose execution metadata (cached,
-        // micros) describes what actually ran.
-        let mut slot_of_request: Vec<Option<(usize, bool)>> = Vec::with_capacity(requests.len());
+        // Deduplicate clustering work by (graph, μ, ε-class): one
+        // execution per distinct key, shared by every duplicate in the
+        // batch. ε classes are engine-specific, so the key is snapped
+        // per resolved graph.
+        let mut distinct: Vec<(Arc<QueryEngine>, parscan_core::QueryParams)> = Vec::new();
+        let mut key_to_slot: HashMap<(String, u32, u32), usize> = HashMap::new();
+        let mut plans: Vec<Plan> = Vec::with_capacity(requests.len());
         for req in requests {
             match req {
-                Request::Cluster { params, .. } => {
-                    let (eps_class, _) = self.engine.snap_epsilon(params.epsilon);
-                    let key = (params.mu, eps_class);
-                    let mut first = false;
-                    let slot = *key_to_slot.entry(key).or_insert_with(|| {
-                        first = true;
-                        distinct.push(req);
-                        distinct.len() - 1
-                    });
-                    slot_of_request.push(Some((slot, first)));
+                Request::Cluster { graph, params, .. } => {
+                    match self.registry.get(graph.as_deref()) {
+                        Ok((canonical, engine)) => {
+                            let (eps_class, _) = engine.snap_epsilon(params.epsilon);
+                            let key = (canonical.clone(), params.mu, eps_class);
+                            let mut first = false;
+                            let slot = *key_to_slot.entry(key).or_insert_with(|| {
+                                first = true;
+                                distinct.push((engine, *params));
+                                distinct.len() - 1
+                            });
+                            plans.push(Plan::Cluster {
+                                slot,
+                                representative: first,
+                                graph: canonical,
+                            });
+                        }
+                        Err(e) => plans.push(Plan::Error(e.to_string())),
+                    }
                 }
-                _ => slot_of_request.push(None),
+                _ => plans.push(Plan::Other),
             }
         }
 
@@ -64,57 +120,92 @@ impl<'e> BatchExecutor<'e> {
         // workers collapse nested parallel calls to sequential, so a
         // small batch under par_map would run each query single-threaded;
         // below the thread count, intra-query parallelism wins.
-        let cluster_of = |req: &Request| {
-            let Request::Cluster { params, .. } = req else {
-                unreachable!("distinct holds only cluster requests");
-            };
-            self.engine.cluster(*params)
-        };
         let outcomes: Vec<ClusterOutcome> =
             if distinct.len() < parscan_parallel::pool::num_threads() {
-                distinct.iter().map(|req| cluster_of(req)).collect()
+                distinct.iter().map(|(e, p)| e.cluster(*p)).collect()
             } else {
-                par_map(distinct.len(), 1, |i| cluster_of(distinct[i]))
+                par_map(distinct.len(), 1, |i| {
+                    let (e, p) = &distinct[i];
+                    e.cluster(*p)
+                })
             };
 
         requests
             .iter()
-            .zip(&slot_of_request)
-            .map(|(req, slot)| match req {
-                Request::Cluster { params, full } => {
-                    let (slot, is_representative) = slot.expect("cluster requests have a slot");
-                    let mut outcome = outcomes[slot].clone();
-                    if !is_representative {
-                        // Duplicates consumed a shared result: report their
-                        // own ε snap and hit-like metadata, not the
-                        // representative's execution cost.
-                        let (eps_class, eps_snapped) = self.engine.snap_epsilon(params.epsilon);
-                        outcome.eps_class = eps_class;
-                        outcome.eps_snapped = eps_snapped;
-                        outcome.cached = true;
-                        outcome.micros = 0;
-                    }
-                    Response::Cluster {
-                        params: *params,
-                        outcome,
-                        full: *full,
-                    }
-                }
-                Request::Probe { vertex, params } => match self.engine.probe(*vertex, *params) {
-                    Ok(probe) => Response::Probe {
-                        vertex: *vertex,
-                        params: *params,
-                        probe,
+            .zip(&plans)
+            .map(|(req, plan)| match req {
+                Request::Cluster { params, full, .. } => match plan {
+                    Plan::Error(message) => Response::Error {
+                        message: message.clone(),
                     },
-                    Err(message) => Response::Error { message },
+                    Plan::Cluster {
+                        slot,
+                        representative,
+                        graph,
+                    } => {
+                        let mut outcome = outcomes[*slot].clone();
+                        if !representative {
+                            // Duplicates consumed a shared result: report
+                            // their own ε snap and hit-like metadata, not
+                            // the representative's execution cost.
+                            let engine = &distinct[*slot].0;
+                            let (eps_class, eps_snapped) = engine.snap_epsilon(params.epsilon);
+                            outcome.eps_class = eps_class;
+                            outcome.eps_snapped = eps_snapped;
+                            outcome.cached = true;
+                            outcome.coalesced = false;
+                            outcome.micros = 0;
+                        }
+                        Response::Cluster {
+                            graph: graph.clone(),
+                            params: *params,
+                            outcome,
+                            full: *full,
+                        }
+                    }
+                    Plan::Other => unreachable!("cluster requests always have a cluster plan"),
                 },
-                Request::Sweep { eps_step } => match self.engine.sweep_best(*eps_step) {
-                    Ok(best) => Response::Sweep { best },
-                    Err(message) => Response::Error { message },
+                Request::Probe {
+                    graph,
+                    vertex,
+                    params,
+                } => match self.registry.get(graph.as_deref()) {
+                    Ok((canonical, engine)) => match engine.probe(*vertex, *params) {
+                        Ok(probe) => Response::Probe {
+                            graph: canonical,
+                            vertex: *vertex,
+                            params: *params,
+                            probe,
+                        },
+                        Err(message) => Response::Error { message },
+                    },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
                 },
-                Request::Stats => stats(),
+                Request::Sweep { graph, eps_step } => match self.registry.get(graph.as_deref()) {
+                    Ok((canonical, engine)) => match engine.sweep_best(*eps_step) {
+                        Ok(best) => Response::Sweep {
+                            graph: canonical,
+                            best,
+                        },
+                        Err(message) => Response::Error { message },
+                    },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                Request::Stats { graph } => stats(graph.as_deref()),
+                Request::List => Response::List {
+                    default: self.registry.default_name().to_string(),
+                    graphs: self.registry.list(),
+                },
                 Request::Ping => Response::Pong,
-                Request::Batch(_) | Request::Quit | Request::Shutdown => Response::Error {
+                Request::Batch(_)
+                | Request::Quit
+                | Request::Shutdown
+                | Request::Load { .. }
+                | Request::Unload { .. } => Response::Error {
                     message: "command not allowed inside a batch".into(),
                 },
             })
@@ -125,49 +216,51 @@ impl<'e> BatchExecutor<'e> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
     use parscan_core::{IndexConfig, QueryParams, ScanIndex};
     use parscan_graph::generators;
-    use std::sync::Arc;
 
-    fn engine() -> QueryEngine {
+    fn registry() -> GraphRegistry {
+        let r = GraphRegistry::new("main", Default::default());
         let (g, _) = generators::planted_partition(240, 4, 9.0, 1.0, 77);
-        QueryEngine::new(
-            Arc::new(ScanIndex::build(g, IndexConfig::default())),
-            EngineConfig::default(),
-        )
+        r.install("main", ScanIndex::build(g, IndexConfig::default()))
+            .unwrap();
+        r
     }
 
-    fn stats_stub() -> Response {
+    fn stats_stub(_graph: Option<&str>) -> Response {
         Response::Pong
     }
 
     #[test]
     fn batch_preserves_request_order_and_dedups() {
-        let e = engine();
+        let r = registry();
         let p1 = QueryParams::new(2, 0.3);
         let p2 = QueryParams::new(3, 0.5);
         let requests = vec![
             Request::Cluster {
+                graph: None,
                 params: p1,
                 full: false,
             },
             Request::Cluster {
+                graph: None,
                 params: p2,
                 full: false,
             },
             // Duplicate of the first — must share the same computation.
             Request::Cluster {
+                graph: None,
                 params: p1,
                 full: true,
             },
             Request::Ping,
             Request::Probe {
+                graph: None,
                 vertex: 0,
                 params: p1,
             },
         ];
-        let responses = BatchExecutor::new(&e).execute(&requests, stats_stub);
+        let responses = BatchExecutor::new(&r).execute(&requests, stats_stub);
         assert_eq!(responses.len(), 5);
         let (a, c) = match (&responses[0], &responses[2]) {
             (Response::Cluster { outcome: a, .. }, Response::Cluster { outcome: c, .. }) => (a, c),
@@ -183,27 +276,30 @@ mod tests {
         assert!(c.cached && c.micros == 0);
         assert_eq!(a.eps_class, c.eps_class);
         // Two distinct queries executed, not three.
-        assert_eq!(e.stats().cluster_requests, 2);
+        let (_, engine) = r.get(None).unwrap();
+        assert_eq!(engine.stats().cluster_requests, 2);
         assert!(matches!(responses[3], Response::Pong));
         assert!(matches!(responses[4], Response::Probe { .. }));
     }
 
     #[test]
     fn batch_results_match_sequential_execution() {
-        let e = engine();
+        let r = registry();
         let params: Vec<QueryParams> = (1..=6)
             .map(|i| QueryParams::new(2 + (i % 3), i as f32 / 7.0))
             .collect();
         let requests: Vec<Request> = params
             .iter()
             .map(|&p| Request::Cluster {
+                graph: None,
                 params: p,
                 full: false,
             })
             .collect();
-        let batched = BatchExecutor::new(&e).execute(&requests, stats_stub);
+        let batched = BatchExecutor::new(&r).execute(&requests, stats_stub);
 
-        let direct = engine(); // fresh engine, sequential execution
+        let direct = registry(); // fresh registry, sequential execution
+        let (_, direct_engine) = direct.get(None).unwrap();
         for (req, resp) in requests.iter().zip(&batched) {
             let Request::Cluster { params, .. } = req else {
                 unreachable!()
@@ -211,7 +307,7 @@ mod tests {
             let Response::Cluster { outcome, .. } = resp else {
                 panic!("expected cluster response")
             };
-            let want = direct.cluster(*params);
+            let want = direct_engine.cluster(*params);
             assert_eq!(
                 *outcome.clustering, *want.clustering,
                 "batch diverges at {params:?}"
@@ -221,19 +317,71 @@ mod tests {
 
     #[test]
     fn errors_inside_batches_are_per_request() {
-        let e = engine();
+        let r = registry();
         let requests = vec![
             Request::Probe {
+                graph: None,
                 vertex: 999_999,
                 params: QueryParams::new(2, 0.5),
             },
             Request::Cluster {
+                graph: None,
+                params: QueryParams::new(2, 0.5),
+                full: false,
+            },
+            // Unknown graph: a per-request error, not a batch failure.
+            Request::Cluster {
+                graph: Some("absent".into()),
                 params: QueryParams::new(2, 0.5),
                 full: false,
             },
         ];
-        let responses = BatchExecutor::new(&e).execute(&requests, stats_stub);
+        let responses = BatchExecutor::new(&r).execute(&requests, stats_stub);
         assert!(matches!(responses[0], Response::Error { .. }));
         assert!(matches!(responses[1], Response::Cluster { .. }));
+        let Response::Error { message } = &responses[2] else {
+            panic!("unknown graph must be a per-request error");
+        };
+        assert!(message.contains("absent"), "{message}");
+    }
+
+    #[test]
+    fn batch_addresses_multiple_graphs() {
+        let r = registry();
+        let (g2, _) = generators::planted_partition(150, 3, 8.0, 1.0, 5);
+        r.install("second", ScanIndex::build(g2, IndexConfig::default()))
+            .unwrap();
+        let p = QueryParams::new(2, 0.3);
+        let requests = vec![
+            Request::Cluster {
+                graph: None,
+                params: p,
+                full: false,
+            },
+            Request::Cluster {
+                graph: Some("second".into()),
+                params: p,
+                full: false,
+            },
+        ];
+        let responses = BatchExecutor::new(&r).execute(&requests, stats_stub);
+        let [Response::Cluster {
+            graph: ga,
+            outcome: a,
+            ..
+        }, Response::Cluster {
+            graph: gb,
+            outcome: b,
+            ..
+        }] = &responses[..]
+        else {
+            panic!("expected two cluster responses, got {responses:?}");
+        };
+        assert_eq!(ga, "main");
+        assert_eq!(gb, "second");
+        // Same params, different graphs: distinct computations over
+        // different vertex counts.
+        assert!(!a.cached && !b.cached);
+        assert_ne!(a.clustering.labels.len(), b.clustering.labels.len());
     }
 }

@@ -18,14 +18,46 @@
 //! `ScanIndex` queries borrow the index immutably, so any number of
 //! sessions may query one engine at once; the cache serializes only
 //! per-shard map updates. Counters are relaxed atomics.
+//!
+//! # In-flight coalescing
+//!
+//! The cache alone leaves one gap: two sessions that miss on the same
+//! `(μ, ε-class)` *simultaneously* would both compute the clustering,
+//! because neither result is cached yet when the second arrives. The
+//! engine closes it with a per-key in-flight table: the first cold miss
+//! (the *leader*) registers a once-cell slot, computes, and publishes;
+//! every concurrent miss on the same key (a *follower*) blocks on the
+//! slot instead of recomputing. Followers are counted as cache hits
+//! (they did not compute) and additionally as [`EngineStats::coalesced_waits`].
+//!
+//! # Examples
+//!
+//! ```
+//! use parscan_server::{EngineConfig, QueryEngine};
+//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+//! use std::sync::Arc;
+//!
+//! let (g, _) = parscan_graph::generators::planted_partition(200, 4, 9.0, 1.0, 1);
+//! let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
+//! let engine = QueryEngine::new(index, EngineConfig::default());
+//!
+//! // Cold miss computes; the repeat (and any ε in the same class) hits.
+//! let cold = engine.cluster(QueryParams::new(3, 0.4));
+//! let hot = engine.cluster(QueryParams::new(3, 0.4));
+//! assert!(!cold.cached && hot.cached);
+//! assert!(Arc::ptr_eq(&cold.clustering, &hot.clustering));
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
 
 use crate::cache::ShardedLru;
+use crate::lock_mutex;
 use parscan_core::{
     BorderAssignment, Clustering, QueryOptions, QueryParams, ScanIndex, VertexProbe,
 };
 use parscan_graph::VertexId;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Engine construction parameters.
@@ -66,6 +98,7 @@ struct Counters {
     cluster_requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced_waits: AtomicU64,
     probe_requests: AtomicU64,
     compute_micros: AtomicU64,
 }
@@ -76,6 +109,12 @@ pub struct EngineStats {
     pub cluster_requests: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Requests that arrived while an identical `(μ, ε-class)` query was
+    /// already computing and waited for its result instead of recomputing.
+    /// Each such wait is also counted in `cache_hits` (the request was
+    /// answered without a computation), so the
+    /// `cluster_requests == cache_hits + cache_misses` ledger still holds.
+    pub coalesced_waits: u64,
     pub probe_requests: u64,
     /// Cumulative wall-clock microseconds spent computing cache misses.
     pub compute_micros: u64,
@@ -102,6 +141,9 @@ pub struct ClusterOutcome {
     pub clustering: Arc<Clustering>,
     /// Whether the answer came from the cache.
     pub cached: bool,
+    /// Whether this request waited on another session's in-flight
+    /// computation of the same `(μ, ε-class)` (implies `cached`).
+    pub coalesced: bool,
     /// Wall-clock microseconds this call spent (≈0 for hits).
     pub micros: u64,
     /// The ε equivalence class index (see module docs).
@@ -111,15 +153,68 @@ pub struct ClusterOutcome {
     pub eps_snapped: f32,
 }
 
+/// The once-cell a coalescing leader publishes through. `result` stays
+/// `None` until the leader finishes; `abandoned` covers the pathological
+/// case of a leader unwinding mid-computation, so followers retry
+/// instead of blocking forever.
+#[derive(Default)]
+struct InFlightSlot {
+    state: Mutex<InFlightState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct InFlightState {
+    result: Option<Arc<Clustering>>,
+    abandoned: bool,
+}
+
+/// Removes the leader's in-flight registration on drop — including an
+/// unwind — and wakes every follower. On the normal path the result has
+/// been published first; on a panic the slot is marked abandoned and
+/// followers restart their own attempt.
+struct LeaderGuard<'e> {
+    engine: &'e QueryEngine,
+    key: CacheKey,
+    slot: Arc<InFlightSlot>,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = lock_mutex(&self.engine.inflight);
+        inflight.remove(&self.key);
+        drop(inflight);
+        let mut state = lock_mutex(&self.slot.state);
+        if state.result.is_none() {
+            state.abandoned = true;
+        }
+        drop(state);
+        self.slot.cv.notify_all();
+    }
+}
+
 /// A resident index serving concurrent `(μ, ε)` queries through a
 /// quantized result cache.
 pub struct QueryEngine {
     index: Arc<ScanIndex>,
     cache: ShardedLru<CacheKey, Arc<Clustering>>,
+    /// Keys whose clustering is being computed right now; see the module
+    /// docs on in-flight coalescing.
+    inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
     /// Sorted distinct similarity values (the ε breakpoints).
     breakpoints: Vec<f32>,
     border: BorderAssignment,
     counters: Counters,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("vertices", &self.index.graph().num_vertices())
+            .field("edges", &self.index.graph().num_edges())
+            .field("breakpoints", &self.breakpoints.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl QueryEngine {
@@ -133,6 +228,7 @@ impl QueryEngine {
         QueryEngine {
             index,
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            inflight: Mutex::new(HashMap::new()),
             breakpoints,
             border: config.border,
             counters: Counters::default(),
@@ -174,11 +270,12 @@ impl QueryEngine {
     }
 
     /// The shared query path. With `use_cache` false the cache is neither
-    /// consulted nor populated — used by bulk work like sweeps that would
-    /// otherwise evict every hot entry of a smaller cache. With `count`
-    /// false the hit/miss counters stay untouched (internal work must not
-    /// skew client-facing serving stats); `compute_micros` always
-    /// accumulates, since it measures computation, not traffic.
+    /// consulted nor populated (and no coalescing happens) — used by bulk
+    /// work like sweeps that would otherwise evict every hot entry of a
+    /// smaller cache. With `count` false the hit/miss counters stay
+    /// untouched (internal work must not skew client-facing serving
+    /// stats); `compute_micros` accumulates whenever a computation ran,
+    /// since it measures computation, not traffic.
     fn cluster_inner(&self, params: QueryParams, use_cache: bool, count: bool) -> ClusterOutcome {
         let start = Instant::now();
         let (eps_class, eps_snapped) = self.snap_epsilon(params.epsilon);
@@ -187,42 +284,138 @@ impl QueryEngine {
             eps_class,
             most_similar: self.border == BorderAssignment::MostSimilar,
         };
-        if use_cache {
+        let finish = |clustering: Arc<Clustering>, cached: bool, coalesced: bool| ClusterOutcome {
+            clustering,
+            cached,
+            coalesced,
+            micros: start.elapsed().as_micros() as u64,
+            eps_class,
+            eps_snapped,
+        };
+        if !use_cache {
+            let clustering = Arc::new(self.compute(params));
+            let out = finish(clustering, false, false);
+            self.counters
+                .compute_micros
+                .fetch_add(out.micros, Ordering::Relaxed);
+            return out;
+        }
+        // Pool workers must never block on another thread's computation:
+        // the leader may itself need the (single, global) pool for its
+        // own query phases, and a worker blocked on the coalescing
+        // condvar stalls its whole job — a circular wait that would hang
+        // every query in the process. Workers therefore skip the
+        // in-flight table entirely: cache hit if available, otherwise
+        // compute directly — a rare duplicate computation instead of a
+        // possible deadlock.
+        if parscan_parallel::pool::in_pool() {
             if let Some(hit) = self.cache.get(&key) {
                 if count {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                return ClusterOutcome {
-                    clustering: hit,
-                    cached: true,
-                    micros: start.elapsed().as_micros() as u64,
-                    eps_class,
-                    eps_snapped,
-                };
+                return finish(hit, true, false);
             }
-        }
-        let opts = QueryOptions {
-            border: self.border,
-            ..Default::default()
-        };
-        let clustering = Arc::new(self.index.cluster_with_opts(params, opts));
-        if use_cache {
+            let clustering = Arc::new(self.compute(params));
             self.cache.insert(key, Arc::clone(&clustering));
             if count {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
             }
+            let out = finish(clustering, false, false);
+            self.counters
+                .compute_micros
+                .fetch_add(out.micros, Ordering::Relaxed);
+            return out;
         }
-        let micros = start.elapsed().as_micros() as u64;
-        self.counters
-            .compute_micros
-            .fetch_add(micros, Ordering::Relaxed);
-        ClusterOutcome {
-            clustering,
-            cached: false,
-            micros,
-            eps_class,
-            eps_snapped,
+        // The loop only repeats when a coalescing leader abandoned its
+        // computation (unwound); the retrying follower then competes to
+        // become leader itself.
+        loop {
+            if let Some(hit) = self.cache.get(&key) {
+                if count {
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return finish(hit, true, false);
+            }
+            // Cold so far: register as the computation leader for this
+            // key, or join an already in-flight computation as follower.
+            let (slot, is_leader) = {
+                let mut inflight = lock_mutex(&self.inflight);
+                // Re-check the cache under the in-flight lock: a leader
+                // publishes to the cache *before* deregistering, so a
+                // miss here with no registered slot proves nobody is
+                // (or was just) computing this key.
+                if let Some(hit) = self.cache.get(&key) {
+                    drop(inflight);
+                    if count {
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return finish(hit, true, false);
+                }
+                match inflight.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let slot = Arc::new(InFlightSlot::default());
+                        v.insert(Arc::clone(&slot));
+                        (slot, true)
+                    }
+                }
+            };
+            if !is_leader {
+                let mut state = lock_mutex(&slot.state);
+                while state.result.is_none() && !state.abandoned {
+                    state = slot
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                let Some(result) = state.result.clone() else {
+                    continue; // leader unwound; retry from the top
+                };
+                drop(state);
+                if count {
+                    // A coalesced wait is a hit (answered without
+                    // computing) that additionally moved the coalescing
+                    // counter; see `EngineStats::coalesced_waits`.
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .coalesced_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return finish(result, true, true);
+            }
+            // Leader: compute, publish to the cache, wake followers. The
+            // guard deregisters the key even if the computation unwinds.
+            let guard = LeaderGuard {
+                engine: self,
+                key,
+                slot,
+            };
+            let clustering = Arc::new(self.compute(params));
+            self.cache.insert(key, Arc::clone(&clustering));
+            {
+                let mut state = lock_mutex(&guard.slot.state);
+                state.result = Some(Arc::clone(&clustering));
+            }
+            guard.slot.cv.notify_all();
+            drop(guard);
+            if count {
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let out = finish(clustering, false, false);
+            self.counters
+                .compute_micros
+                .fetch_add(out.micros, Ordering::Relaxed);
+            return out;
         }
+    }
+
+    /// Run the clustering computation itself (no cache, no counters).
+    fn compute(&self, params: QueryParams) -> Clustering {
+        let opts = QueryOptions {
+            border: self.border,
+            ..Default::default()
+        };
+        self.index.cluster_with_opts(params, opts)
     }
 
     /// The cheap per-vertex lookup path ([`ScanIndex::probe_vertex`]):
@@ -238,7 +431,7 @@ impl QueryEngine {
 
     /// Modularity-scored sweep over the (μ, ε) grid with the given ε
     /// step, returning the best parameters. The grid is the core crate's
-    /// [`SweepGrid`] μ-doubling (one grid definition shared with
+    /// [`SweepGrid`](parscan_core::SweepGrid) μ-doubling (one grid definition shared with
     /// `parscan sweep`). Grid points run through the cache only when the
     /// whole grid fits in half its capacity — a full sweep through a
     /// small cache would evict every hot entry other sessions rely on —
@@ -296,6 +489,7 @@ impl QueryEngine {
             cluster_requests: self.counters.cluster_requests.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            coalesced_waits: self.counters.coalesced_waits.load(Ordering::Relaxed),
             probe_requests: self.counters.probe_requests.load(Ordering::Relaxed),
             compute_micros: self.counters.compute_micros.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
@@ -459,6 +653,77 @@ mod tests {
         assert!(after.cache_len <= after.cache_capacity);
         // The previously hot entry survived the sweep.
         assert!(e.cluster(hot).cached, "hot entry was evicted by a sweep");
+    }
+
+    #[test]
+    fn concurrent_cold_misses_coalesce_to_one_computation() {
+        let e = engine(64);
+        const THREADS: usize = 8;
+        let barrier = std::sync::Barrier::new(THREADS);
+        let outcomes: Vec<ClusterOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let (e, barrier) = (&e, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        e.cluster(QueryParams::new(3, 0.4))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one underlying computation, no matter how the threads
+        // interleave: the in-flight table guarantees every concurrent
+        // miss either follows the leader or hits the published entry.
+        let s = e.stats();
+        assert_eq!(s.cache_misses, 1, "{s:?}");
+        assert_eq!(s.cache_hits, (THREADS - 1) as u64, "{s:?}");
+        assert_eq!(s.cluster_requests, THREADS as u64);
+        assert!(s.coalesced_waits <= (THREADS - 1) as u64);
+        // Every thread got the same allocation, and exactly one outcome
+        // reports having computed.
+        for o in &outcomes[1..] {
+            assert!(Arc::ptr_eq(&outcomes[0].clustering, &o.clustering));
+        }
+        assert_eq!(outcomes.iter().filter(|o| !o.cached).count(), 1);
+        for o in &outcomes {
+            assert!(!o.coalesced || o.cached, "coalesced implies cached");
+        }
+    }
+
+    #[test]
+    fn pool_workers_bypass_coalescing_and_stay_correct() {
+        use parscan_parallel::primitives::par_map;
+        let e = engine(64);
+        // Identical cold queries issued from inside pool workers: they
+        // must not register on (or wait for) the in-flight table — a
+        // blocked worker would stall its whole job and can deadlock
+        // against a leader that needs the pool — yet every result must
+        // agree and the hit/miss ledger must stay consistent.
+        let outcomes: Vec<ClusterOutcome> = par_map(6, 1, |_| e.cluster(QueryParams::new(3, 0.4)));
+        for o in &outcomes[1..] {
+            assert_eq!(*o.clustering, *outcomes[0].clustering);
+            assert!(!o.coalesced, "workers must not wait on in-flight slots");
+        }
+        let s = e.stats();
+        assert_eq!(s.cluster_requests, 6);
+        assert_eq!(s.cache_hits + s.cache_misses, 6);
+        assert!(s.cache_misses >= 1);
+        assert_eq!(s.coalesced_waits, 0);
+    }
+
+    #[test]
+    fn coalesced_counter_reconciles_with_hits() {
+        // Sequential traffic never coalesces; the counter stays zero and
+        // hits/misses behave exactly as before the in-flight table.
+        let e = engine(16);
+        for _ in 0..4 {
+            e.cluster(QueryParams::new(2, 0.3));
+        }
+        let s = e.stats();
+        assert_eq!(s.coalesced_waits, 0);
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
     }
 
     #[test]

@@ -1,69 +1,104 @@
-//! # parscan-serve — concurrent query serving over a resident SCAN index
+//! # parscan-serve — concurrent multi-graph query serving over resident SCAN indexes
 //!
 //! The paper's central trade (§1): build the GS*-style index **once**,
 //! then answer arbitrary `(μ, ε)` SCAN queries in output-sensitive time.
-//! That shape calls for a serving layer — keep one hot [`ScanIndex`]
-//! resident and let many clients query it — which this crate provides in
-//! three layers, all `std`-only:
+//! That shape calls for a serving layer — keep hot
+//! [`ScanIndex`](parscan_core::ScanIndex)es resident and let many
+//! clients query them — which this crate provides in four layers, all
+//! `std`-only:
 //!
 //! - [`QueryEngine`] ([`engine`]): an `Arc<ScanIndex>` behind a sharded
 //!   LRU result cache ([`cache`]) keyed by *quantized* parameters — ε is
 //!   snapped to the index's similarity breakpoints, so every ε between
 //!   two consecutive stored similarity values maps to one cache entry
-//!   (distinct-but-equivalent queries are hits, not recomputes).
+//!   (distinct-but-equivalent queries are hits, not recomputes) — plus
+//!   per-key in-flight coalescing, so concurrent cold misses on one
+//!   `(μ, ε-class)` run exactly one computation.
+//! - [`GraphRegistry`] ([`registry`]): several named resident engines in
+//!   one process, with a byte-budgeted LRU admission/eviction policy
+//!   over estimated index footprints and coalesced `LOAD`s.
 //! - [`BatchExecutor`] ([`batch`]): deduplicates a mixed workload
-//!   (`cluster`, `sweep`, `stats`, vertex probes) and runs the distinct
-//!   clustering queries as one flat parallel job on
-//!   [`parscan_parallel::pool`].
+//!   (`cluster`, `sweep`, `stats`, vertex probes — possibly across
+//!   graphs) and runs the distinct clustering queries as one flat
+//!   parallel job on [`parscan_parallel::pool`].
 //! - [`serve`] ([`server`]): a line/JSON protocol ([`protocol`]) over
 //!   `std::net::TcpListener` — one session thread per connection,
 //!   graceful shutdown that drains in-flight sessions, and
-//!   request/latency/hit-rate counters ([`EngineStats`]).
+//!   request/latency/hit-rate counters ([`EngineStats`],
+//!   [`RegistryStats`]).
 //!
 //! ## Quick start
 //!
 //! ```
-//! use parscan_server::{serve, EngineConfig, QueryEngine};
-//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+//! use parscan_server::{serve, GraphRegistry, RegistryConfig};
+//! use parscan_core::{IndexConfig, ScanIndex};
 //! use std::io::{BufRead, BufReader, Write};
 //! use std::sync::Arc;
 //!
-//! let (g, _) = parscan_graph::generators::planted_partition(200, 4, 9.0, 1.0, 1);
-//! let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
-//! let engine = Arc::new(QueryEngine::new(index, EngineConfig::default()));
+//! // A registry hosting two graphs; "primary" answers unaddressed queries.
+//! let registry = Arc::new(GraphRegistry::new("primary", RegistryConfig::default()));
+//! let (g1, _) = parscan_graph::generators::planted_partition(200, 4, 9.0, 1.0, 1);
+//! let (g2, _) = parscan_graph::generators::planted_partition(120, 3, 8.0, 1.0, 2);
+//! registry.install("primary", ScanIndex::build(g1, IndexConfig::default())).unwrap();
+//! registry.install("alt", ScanIndex::build(g2, IndexConfig::default())).unwrap();
 //!
-//! // In-process use: query through the cache directly.
-//! let outcome = engine.cluster(QueryParams::new(3, 0.4));
-//! assert!(!outcome.cached);
-//! assert!(engine.cluster(QueryParams::new(3, 0.4)).cached);
+//! // In-process use: resolve a graph and query through its cache.
+//! let (_, engine) = registry.get(None).unwrap();
+//! assert!(!engine.cluster(parscan_core::QueryParams::new(3, 0.4)).cached);
 //!
-//! // Or over TCP (port 0 = OS-assigned).
-//! let server = serve(engine, "127.0.0.1:0").unwrap();
+//! // Or over TCP (port 0 = OS-assigned); `@alt` addresses the second graph.
+//! let server = serve(registry, "127.0.0.1:0").unwrap();
 //! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
-//! conn.write_all(b"CLUSTER 3 0.4\n").unwrap();
+//! conn.write_all(b"@alt CLUSTER 3 0.4\n").unwrap();
 //! let mut line = String::new();
 //! BufReader::new(conn).read_line(&mut line).unwrap();
-//! assert!(line.contains("\"ok\":true"));
+//! assert!(line.contains("\"ok\":true") && line.contains("\"graph\":\"alt\""));
 //! server.shutdown();
 //! ```
+//!
+//! The wire protocol is specified in `docs/PROTOCOL.md`; the system
+//! layout in `docs/ARCHITECTURE.md`.
 
 pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 
 pub use batch::BatchExecutor;
 pub use cache::ShardedLru;
 pub use engine::{ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest};
-pub use protocol::{parse_request, Request, Response};
-pub use server::{serve, ServerHandle};
+pub use protocol::{parse_request, Request, Response, StatsGraph};
+pub use registry::{
+    validate_graph_name, GraphInfo, GraphRegistry, LoadOutcome, RegistryConfig, RegistryError,
+    RegistryStats,
+};
+pub use server::{serve, serve_engine, ServerHandle};
 
-// The whole crate exists to share one index and one engine across
-// threads; enforce those bounds at compile time.
+/// Lock a mutex, recovering from poisoning — a panicked holder must not
+/// wedge the serving layer (shared by the engine's in-flight table and
+/// the registry's load slots).
+pub(crate) fn lock_mutex<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_mutex`]'s sibling for `RwLock` readers.
+pub(crate) fn read_lock<T>(l: &std::sync::RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`lock_mutex`]'s sibling for `RwLock` writers.
+pub(crate) fn write_lock<T>(l: &std::sync::RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// The whole crate exists to share indexes and engines across threads;
+// enforce those bounds at compile time.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<parscan_core::ScanIndex>();
     assert_send_sync::<QueryEngine>();
+    assert_send_sync::<GraphRegistry>();
     assert_send_sync::<ServerHandle>();
 };

@@ -2,18 +2,28 @@
 //!
 //! Requests are whitespace-separated commands (case-insensitive keyword,
 //! numeric arguments), chosen so any client — `nc`, a shell script, a
-//! driver in another language — can speak them without a serializer:
+//! driver in another language — can speak them without a serializer.
+//! The full specification lives in `docs/PROTOCOL.md`; the shape is:
 //!
 //! ```text
 //! PING
-//! STATS
-//! CLUSTER <mu> <eps> [FULL]
-//! PROBE <vertex> <mu> <eps>
-//! SWEEP [eps_step]
+//! LIST
+//! LOAD <name> <path>
+//! UNLOAD <name>
+//! [@<graph>] STATS
+//! [@<graph>] CLUSTER <mu> <eps> [FULL]
+//! [@<graph>] PROBE <vertex> <mu> <eps>
+//! [@<graph>] SWEEP [eps_step]
 //! BATCH <cmd> ; <cmd> ; ...
 //! QUIT
 //! SHUTDOWN
 //! ```
+//!
+//! A leading `@<graph>` token addresses a named graph in the server's
+//! [`GraphRegistry`](crate::registry::GraphRegistry); without it, a
+//! query runs against the default (boot) graph — PR 1 clients keep
+//! working unchanged. `LOAD`/`UNLOAD`/`LIST` manage the registry and
+//! never appear inside a `BATCH` (batches are read-only).
 //!
 //! Every response is a single JSON object terminated by `\n`, always
 //! carrying `"ok"` and `"op"`. `CLUSTER … FULL` includes the complete
@@ -23,31 +33,51 @@
 //! returns. `BATCH` responds with `"results": [...]` in request order.
 
 use crate::engine::{ClusterOutcome, EngineStats, SweepBest};
+use crate::registry::{validate_graph_name, GraphInfo, LoadOutcome, RegistryStats};
 use parscan_core::{Clustering, QueryParams, VertexProbe, UNCLUSTERED};
 
 /// Most commands accepted in one `BATCH` — a bound on the work a single
 /// request line from an untrusted client can enqueue.
 pub const MAX_BATCH_COMMANDS: usize = 256;
 
-/// A parsed client request.
+/// A parsed client request. `graph: None` addresses the server's
+/// default graph.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     Ping,
-    Stats,
+    Stats {
+        graph: Option<String>,
+    },
+    /// Describe every resident graph.
+    List,
+    /// Load a graph or persisted index from a server-local file into the
+    /// registry under `name`.
+    Load {
+        name: String,
+        path: String,
+    },
+    /// Remove a resident graph.
+    Unload {
+        name: String,
+    },
     Cluster {
+        graph: Option<String>,
         params: QueryParams,
         /// Include the full per-vertex assignment in the response.
         full: bool,
     },
     Probe {
+        graph: Option<String>,
         vertex: u32,
         params: QueryParams,
     },
     Sweep {
+        graph: Option<String>,
         eps_step: f32,
     },
     /// A mixed workload executed by the batch executor; nested batches
-    /// are rejected at parse time.
+    /// and registry mutation (`LOAD`/`UNLOAD`) are rejected at parse
+    /// time.
     Batch(Vec<Request>),
     Quit,
     Shutdown,
@@ -64,17 +94,61 @@ fn parse_params(mu: Option<&str>, eps: Option<&str>) -> Result<QueryParams, Stri
     QueryParams::try_new(mu, eps).map_err(|e| e.to_string())
 }
 
-/// Parse one request line. `BATCH` splits on `;` and parses each piece as
-/// a simple (non-batch) command.
+/// Parse one request line. A leading `@name` token addresses a named
+/// graph (valid on `CLUSTER`/`PROBE`/`SWEEP`/`STATS`). `BATCH` splits
+/// on `;` and parses each piece as a simple (non-batch, non-mutating)
+/// command.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let line = line.trim();
     let mut toks = line.split_whitespace();
-    let verb = toks.next().ok_or("empty request")?.to_ascii_uppercase();
+    let mut first = toks.next().ok_or("empty request")?;
+    let mut graph: Option<String> = None;
+    if let Some(name) = first.strip_prefix('@') {
+        validate_graph_name(name).map_err(|e| format!("bad graph address {first:?}: {e}"))?;
+        graph = Some(name.to_string());
+        first = toks.next().ok_or("graph address without a command")?;
+    }
+    let verb = first.to_ascii_uppercase();
+    if graph.is_some() && !matches!(verb.as_str(), "CLUSTER" | "PROBE" | "SWEEP" | "STATS") {
+        return Err(format!("{verb} does not take a @graph address"));
+    }
     match verb.as_str() {
         "PING" => Ok(Request::Ping),
-        "STATS" => Ok(Request::Stats),
+        "STATS" => Ok(Request::Stats { graph }),
+        "LIST" => Ok(Request::List),
         "QUIT" => Ok(Request::Quit),
         "SHUTDOWN" => Ok(Request::Shutdown),
+        "LOAD" => {
+            let name = toks.next().ok_or("LOAD needs <name> <path>")?;
+            validate_graph_name(name).map_err(|e| format!("bad graph name {name:?}: {e}"))?;
+            // The path is everything after the name, verbatim (paths may
+            // contain spaces; they cannot contain newlines by framing).
+            let after_verb = line
+                .split_once(char::is_whitespace)
+                .map(|x| x.1.trim_start())
+                .ok_or("LOAD needs <name> <path>")?;
+            let path = after_verb
+                .strip_prefix(name)
+                .expect("name is the first token of the remainder")
+                .trim();
+            if path.is_empty() {
+                return Err("LOAD needs a path after the name".into());
+            }
+            Ok(Request::Load {
+                name: name.to_string(),
+                path: path.to_string(),
+            })
+        }
+        "UNLOAD" => {
+            let name = toks.next().ok_or("UNLOAD needs a graph name")?;
+            validate_graph_name(name).map_err(|e| format!("bad graph name {name:?}: {e}"))?;
+            if let Some(extra) = toks.next() {
+                return Err(format!("unexpected trailing token {extra:?}"));
+            }
+            Ok(Request::Unload {
+                name: name.to_string(),
+            })
+        }
         "CLUSTER" => {
             let params = parse_params(toks.next(), toks.next())?;
             let full = match toks.next() {
@@ -82,12 +156,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(t) if t.eq_ignore_ascii_case("FULL") => true,
                 Some(t) => return Err(format!("unexpected trailing token {t:?}")),
             };
-            Ok(Request::Cluster { params, full })
+            Ok(Request::Cluster {
+                graph,
+                params,
+                full,
+            })
         }
         "PROBE" => {
             let vertex: u32 = parse_num(toks.next(), "vertex")?;
             let params = parse_params(toks.next(), toks.next())?;
-            Ok(Request::Probe { vertex, params })
+            Ok(Request::Probe {
+                graph,
+                vertex,
+                params,
+            })
         }
         "SWEEP" => {
             let eps_step = match toks.next() {
@@ -96,7 +178,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     .parse::<f32>()
                     .map_err(|_| format!("bad eps_step: {t:?}"))?,
             };
-            Ok(Request::Sweep { eps_step })
+            Ok(Request::Sweep { graph, eps_step })
         }
         "BATCH" => {
             let rest = line
@@ -120,6 +202,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     Request::Quit | Request::Shutdown => {
                         return Err("QUIT/SHUTDOWN cannot appear in a BATCH".into())
                     }
+                    Request::Load { .. } | Request::Unload { .. } => {
+                        return Err("LOAD/UNLOAD cannot appear in a BATCH".into())
+                    }
                     other => inner.push(other),
                 }
             }
@@ -132,7 +217,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
 }
 
-/// A response ready for JSON rendering.
+/// Per-graph portion of a `STATS` response (absent when the addressed
+/// graph — or the default — is not resident).
+#[derive(Clone, Debug)]
+pub struct StatsGraph {
+    pub name: String,
+    pub engine: EngineStats,
+    pub graph_n: usize,
+    pub graph_m: usize,
+    pub breakpoints: usize,
+}
+
+/// A response ready for JSON rendering. `graph` fields carry the
+/// *canonical* graph name a query resolved to (the default graph's name
+/// for unaddressed requests).
 #[derive(Clone, Debug)]
 pub enum Response {
     Pong,
@@ -140,25 +238,45 @@ pub enum Response {
         message: String,
     },
     Cluster {
+        graph: String,
         params: QueryParams,
         outcome: ClusterOutcome,
         full: bool,
     },
     Probe {
+        graph: String,
         vertex: u32,
         params: QueryParams,
         probe: VertexProbe,
     },
     Sweep {
+        graph: String,
         best: SweepBest,
     },
     Stats {
-        engine: EngineStats,
-        graph_n: usize,
-        graph_m: usize,
-        breakpoints: usize,
+        graph: Option<StatsGraph>,
+        registry: RegistryStats,
         sessions: u64,
         session_requests: u64,
+    },
+    /// Acknowledgement for `LOAD`.
+    Loaded {
+        name: String,
+        outcome: LoadOutcome,
+        vertices: usize,
+        edges: usize,
+        bytes: usize,
+        millis: u64,
+    },
+    /// Acknowledgement for `UNLOAD`.
+    Unloaded {
+        name: String,
+        bytes_freed: usize,
+    },
+    /// The registry listing for `LIST`.
+    List {
+        default: String,
+        graphs: Vec<GraphInfo>,
     },
     Batch(Vec<Response>),
     /// Acknowledgement for QUIT / SHUTDOWN.
@@ -228,6 +346,7 @@ impl Response {
                 json_escape(message)
             ),
             Response::Cluster {
+                graph,
                 params,
                 outcome,
                 full,
@@ -235,9 +354,10 @@ impl Response {
                 let c = &outcome.clustering;
                 let mut out = format!(
                     concat!(
-                        r#"{{"ok":true,"op":"cluster","mu":{},"eps":{},"eps_class":{},"#,
-                        r#""eps_snapped":{},"clusters":{},"clustered":{},"cached":{},"micros":{}"#
+                        r#"{{"ok":true,"op":"cluster","graph":"{}","mu":{},"eps":{},"eps_class":{},"#,
+                        r#""eps_snapped":{},"clusters":{},"clustered":{},"cached":{},"coalesced":{},"micros":{}"#
                     ),
+                    json_escape(graph),
                     params.mu,
                     params.epsilon,
                     outcome.eps_class,
@@ -245,6 +365,7 @@ impl Response {
                     c.num_clusters(),
                     c.num_clustered(),
                     outcome.cached,
+                    outcome.coalesced,
                     outcome.micros,
                 );
                 if *full {
@@ -257,14 +378,16 @@ impl Response {
                 out
             }
             Response::Probe {
+                graph,
                 vertex,
                 params,
                 probe,
             } => format!(
                 concat!(
-                    r#"{{"ok":true,"op":"probe","vertex":{},"mu":{},"eps":{},"#,
+                    r#"{{"ok":true,"op":"probe","graph":"{}","vertex":{},"mu":{},"eps":{},"#,
                     r#""eps_neighborhood":{},"is_core":{},"attach_core":{}}}"#
                 ),
+                json_escape(graph),
                 vertex,
                 params.mu,
                 params.epsilon,
@@ -274,41 +397,123 @@ impl Response {
                     .attach_core
                     .map_or("null".to_string(), |u| u.to_string()),
             ),
-            Response::Sweep { best } => format!(
+            Response::Sweep { graph, best } => format!(
                 concat!(
-                    r#"{{"ok":true,"op":"sweep","mu":{},"eps":{},"modularity":{:.6},"#,
+                    r#"{{"ok":true,"op":"sweep","graph":"{}","mu":{},"eps":{},"modularity":{:.6},"#,
                     r#""clusters":{},"clustered":{}}}"#
                 ),
-                best.mu, best.epsilon, best.modularity, best.num_clusters, best.num_clustered,
+                json_escape(graph),
+                best.mu,
+                best.epsilon,
+                best.modularity,
+                best.num_clusters,
+                best.num_clustered,
             ),
             Response::Stats {
-                engine,
-                graph_n,
-                graph_m,
-                breakpoints,
+                graph,
+                registry,
                 sessions,
                 session_requests,
+            } => {
+                let mut out = String::from(r#"{"ok":true,"op":"stats""#);
+                if let Some(g) = graph {
+                    out.push_str(&format!(
+                        concat!(
+                            r#","graph":"{}","n":{},"m":{},"breakpoints":{},"#,
+                            r#""cluster_requests":{},"cache_hits":{},"cache_misses":{},"#,
+                            r#""coalesced_waits":{},"hit_rate":{:.4},"probe_requests":{},"#,
+                            r#""compute_micros":{},"cache_len":{},"cache_capacity":{}"#
+                        ),
+                        json_escape(&g.name),
+                        g.graph_n,
+                        g.graph_m,
+                        g.breakpoints,
+                        g.engine.cluster_requests,
+                        g.engine.cache_hits,
+                        g.engine.cache_misses,
+                        g.engine.coalesced_waits,
+                        g.engine.hit_rate(),
+                        g.engine.probe_requests,
+                        g.engine.compute_micros,
+                        g.engine.cache_len,
+                        g.engine.cache_capacity,
+                    ));
+                }
+                out.push_str(&format!(
+                    concat!(
+                        r#","registry":{{"graphs":{},"loading":{},"bytes_resident":{},"#,
+                        r#""byte_budget":{},"loads":{},"coalesced_loads":{},"load_failures":{},"#,
+                        r#""unloads":{},"evictions":{}}},"sessions":{},"session_requests":{}}}"#
+                    ),
+                    registry.graphs,
+                    registry.loading,
+                    registry.bytes_resident,
+                    registry
+                        .byte_budget
+                        .map_or("null".to_string(), |b| b.to_string()),
+                    registry.loads,
+                    registry.coalesced_loads,
+                    registry.load_failures,
+                    registry.unloads,
+                    registry.evictions,
+                    sessions,
+                    session_requests,
+                ));
+                out
+            }
+            Response::Loaded {
+                name,
+                outcome,
+                vertices,
+                edges,
+                bytes,
+                millis,
             } => format!(
                 concat!(
-                    r#"{{"ok":true,"op":"stats","n":{},"m":{},"breakpoints":{},"#,
-                    r#""cluster_requests":{},"cache_hits":{},"cache_misses":{},"#,
-                    r#""hit_rate":{:.4},"probe_requests":{},"compute_micros":{},"#,
-                    r#""cache_len":{},"cache_capacity":{},"sessions":{},"session_requests":{}}}"#
+                    r#"{{"ok":true,"op":"load","graph":"{}","status":"{}","n":{},"m":{},"#,
+                    r#""bytes":{},"millis":{}}}"#
                 ),
-                graph_n,
-                graph_m,
-                breakpoints,
-                engine.cluster_requests,
-                engine.cache_hits,
-                engine.cache_misses,
-                engine.hit_rate(),
-                engine.probe_requests,
-                engine.compute_micros,
-                engine.cache_len,
-                engine.cache_capacity,
-                sessions,
-                session_requests,
+                json_escape(name),
+                match outcome {
+                    LoadOutcome::Loaded => "loaded",
+                    LoadOutcome::AlreadyLoaded => "already_loaded",
+                    LoadOutcome::Coalesced => "coalesced",
+                },
+                vertices,
+                edges,
+                bytes,
+                millis,
             ),
+            Response::Unloaded { name, bytes_freed } => format!(
+                r#"{{"ok":true,"op":"unload","graph":"{}","bytes_freed":{}}}"#,
+                json_escape(name),
+                bytes_freed,
+            ),
+            Response::List { default, graphs } => {
+                let mut out = format!(
+                    r#"{{"ok":true,"op":"list","default":"{}","graphs":["#,
+                    json_escape(default)
+                );
+                for (i, g) in graphs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        concat!(
+                            r#"{{"name":"{}","n":{},"m":{},"bytes":{},"breakpoints":{},"#,
+                            r#""default":{}}}"#
+                        ),
+                        json_escape(&g.name),
+                        g.vertices,
+                        g.edges,
+                        g.bytes,
+                        g.breakpoints,
+                        g.is_default,
+                    ));
+                }
+                out.push_str("]}");
+                out
+            }
             Response::Batch(results) => {
                 let mut out = String::from(r#"{"ok":true,"op":"batch","results":["#);
                 for (i, r) in results.iter().enumerate() {
@@ -334,12 +539,17 @@ mod tests {
     #[test]
     fn parses_simple_commands() {
         assert_eq!(parse_request("ping"), Ok(Request::Ping));
-        assert_eq!(parse_request("  STATS  "), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("  STATS  "),
+            Ok(Request::Stats { graph: None })
+        );
         assert_eq!(parse_request("quit"), Ok(Request::Quit));
         assert_eq!(parse_request("SHUTDOWN"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("list"), Ok(Request::List));
         assert_eq!(
             parse_request("CLUSTER 3 0.5"),
             Ok(Request::Cluster {
+                graph: None,
                 params: QueryParams::new(3, 0.5),
                 full: false
             })
@@ -347,6 +557,7 @@ mod tests {
         assert_eq!(
             parse_request("cluster 2 0.25 full"),
             Ok(Request::Cluster {
+                graph: None,
                 params: QueryParams::new(2, 0.25),
                 full: true
             })
@@ -354,11 +565,75 @@ mod tests {
         assert_eq!(
             parse_request("PROBE 17 4 0.6"),
             Ok(Request::Probe {
+                graph: None,
                 vertex: 17,
                 params: QueryParams::new(4, 0.6)
             })
         );
         assert!(matches!(parse_request("SWEEP"), Ok(Request::Sweep { .. })));
+    }
+
+    #[test]
+    fn parses_graph_addresses() {
+        assert_eq!(
+            parse_request("@web CLUSTER 3 0.5"),
+            Ok(Request::Cluster {
+                graph: Some("web".into()),
+                params: QueryParams::new(3, 0.5),
+                full: false
+            })
+        );
+        assert_eq!(
+            parse_request("@social-v2 stats"),
+            Ok(Request::Stats {
+                graph: Some("social-v2".into())
+            })
+        );
+        assert!(matches!(
+            parse_request("@g PROBE 1 2 0.5"),
+            Ok(Request::Probe { graph: Some(_), .. })
+        ));
+        assert!(matches!(
+            parse_request("@g SWEEP 0.1"),
+            Ok(Request::Sweep { graph: Some(_), .. })
+        ));
+        // Only queries take an address.
+        assert!(parse_request("@g PING").is_err());
+        assert!(parse_request("@g LIST").is_err());
+        assert!(parse_request("@g LOAD x y").is_err());
+        assert!(parse_request("@g SHUTDOWN").is_err());
+        // Bad addresses are rejected at parse time.
+        assert!(parse_request("@ CLUSTER 3 0.5").is_err());
+        assert!(parse_request("@bad;name CLUSTER 3 0.5").is_err());
+        assert!(parse_request("@g").is_err());
+    }
+
+    #[test]
+    fn parses_registry_commands() {
+        assert_eq!(
+            parse_request("LOAD web /data/web.pscidx"),
+            Ok(Request::Load {
+                name: "web".into(),
+                path: "/data/web.pscidx".into()
+            })
+        );
+        // Paths keep their internal spaces.
+        assert_eq!(
+            parse_request("load g /tmp/my graphs/a.bin"),
+            Ok(Request::Load {
+                name: "g".into(),
+                path: "/tmp/my graphs/a.bin".into()
+            })
+        );
+        assert_eq!(
+            parse_request("UNLOAD web"),
+            Ok(Request::Unload { name: "web".into() })
+        );
+        assert!(parse_request("LOAD").is_err());
+        assert!(parse_request("LOAD web").is_err());
+        assert!(parse_request("LOAD bad;name /x").is_err());
+        assert!(parse_request("UNLOAD").is_err());
+        assert!(parse_request("UNLOAD a b").is_err());
     }
 
     #[test]
@@ -395,6 +670,19 @@ mod tests {
         assert!(parse_request("BATCH ;;").is_err());
         assert!(parse_request("BATCH QUIT").is_err());
         assert!(parse_request("BATCH BATCH PING").is_err());
+        // Registry mutation is not allowed inside a batch; addressed
+        // queries are.
+        assert!(parse_request("BATCH LOAD g /x ; PING").is_err());
+        assert!(parse_request("BATCH UNLOAD g").is_err());
+        let mixed = parse_request("BATCH @web CLUSTER 2 0.3 ; CLUSTER 3 0.5 ; LIST").unwrap();
+        match mixed {
+            Request::Batch(inner) => {
+                assert!(matches!(&inner[0], Request::Cluster { graph: Some(g), .. } if g == "web"));
+                assert!(matches!(&inner[1], Request::Cluster { graph: None, .. }));
+                assert!(matches!(&inner[2], Request::List));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
     }
 
     #[test]

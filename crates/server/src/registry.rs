@@ -1,0 +1,899 @@
+//! The graph registry: several resident indexes in one server process.
+//!
+//! PR 1 made a single [`ScanIndex`] resident behind a [`QueryEngine`];
+//! this module generalizes that to a *named collection* of resident
+//! engines, treating index memory as the scarce resource it is on a
+//! serving box:
+//!
+//! - **Admission / eviction.** Every graph's footprint is estimated with
+//!   [`ScanIndex::memory_bytes`] (the paper's `O(m)` space claim made
+//!   operational). When a configured byte budget would be exceeded, the
+//!   registry evicts least-recently-*queried* graphs until the newcomer
+//!   fits; the default (boot) graph is pinned against eviction, and a
+//!   graph that could never fit — even with everything else evicted — is
+//!   rejected outright.
+//! - **Load coalescing.** Concurrent `LOAD`s of the same name build the
+//!   index once: the first caller becomes the leader, everyone else
+//!   blocks on its outcome ([`LoadOutcome::Coalesced`]). This is the
+//!   registry-level sibling of the per-`(μ, ε-class)` query coalescing
+//!   in [`engine`](crate::engine).
+//! - **Observability.** Monotonic counters ([`RegistryStats`]) for
+//!   loads, coalesced loads, failures, unloads, and evictions, surfaced
+//!   through the protocol's `STATS` response.
+//!
+//! Eviction drops the registry's `Arc` to the engine; the memory is
+//! actually reclaimed when the last in-flight query on that engine
+//! finishes, so a busy graph never has the index freed under it.
+//!
+//! # Examples
+//!
+//! ```
+//! use parscan_server::{GraphRegistry, RegistryConfig};
+//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
+//!
+//! let registry = GraphRegistry::new("boot", RegistryConfig::default());
+//! let (g, _) = parscan_graph::generators::planted_partition(120, 3, 8.0, 1.0, 7);
+//! registry.install("boot", ScanIndex::build(g, IndexConfig::default())).unwrap();
+//!
+//! // Queries address graphs by name; `None` means the default graph.
+//! let (name, engine) = registry.get(None).unwrap();
+//! assert_eq!(name, "boot");
+//! assert!(engine.cluster(QueryParams::new(2, 0.3)).clustering.num_clusters() > 0);
+//! assert_eq!(registry.list().len(), 1);
+//! ```
+
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::{lock_mutex, read_lock, write_lock};
+use parscan_core::{IndexConfig, ScanIndex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Registry construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryConfig {
+    /// Total bytes of resident index memory the registry may hold
+    /// (estimated via [`ScanIndex::memory_bytes`]); `None` is unlimited.
+    pub byte_budget: Option<usize>,
+    /// Maximum number of resident graphs (LRU-evicted like bytes).
+    pub max_graphs: usize,
+    /// Engine configuration applied to every hosted graph.
+    pub engine: EngineConfig,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            byte_budget: None,
+            max_graphs: 64,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Why a registry operation failed. Rendered into protocol error
+/// responses verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No graph with this name is resident.
+    NotFound { name: String },
+    /// The graph is currently being loaded by another session.
+    Loading { name: String },
+    /// The graph can never fit: its footprint alone exceeds the budget,
+    /// or everything evictable has been evicted and it still does not fit.
+    BudgetExceeded {
+        name: String,
+        bytes: usize,
+        budget: usize,
+    },
+    /// The graph-count budget is exhausted and nothing is evictable.
+    TooManyGraphs { name: String, max_graphs: usize },
+    /// Building or reading the index failed.
+    LoadFailed { name: String, message: String },
+    /// The graph name is syntactically invalid (see [`validate_graph_name`]).
+    BadName { name: String, message: String },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NotFound { name } => write!(f, "no graph named {name:?} is loaded"),
+            RegistryError::Loading { name } => {
+                write!(f, "graph {name:?} is still loading; retry shortly")
+            }
+            RegistryError::BudgetExceeded { name, bytes, budget } => write!(
+                f,
+                "graph {name:?} ({bytes} bytes) does not fit the registry byte budget ({budget} bytes)"
+            ),
+            RegistryError::TooManyGraphs { name, max_graphs } => write!(
+                f,
+                "cannot load graph {name:?}: the registry already holds its maximum of {max_graphs} graph(s)"
+            ),
+            RegistryError::LoadFailed { name, message } => {
+                write!(f, "loading graph {name:?} failed: {message}")
+            }
+            RegistryError::BadName { name, message } => {
+                write!(f, "bad graph name {name:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// How a [`GraphRegistry::load_with`] call was satisfied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// This call built and admitted the graph.
+    Loaded,
+    /// The graph was already resident; nothing was built.
+    AlreadyLoaded,
+    /// Another session was mid-load; this call waited for its result.
+    Coalesced,
+}
+
+/// A point-in-time description of one resident graph.
+#[derive(Clone, Debug)]
+pub struct GraphInfo {
+    pub name: String,
+    pub vertices: usize,
+    pub edges: usize,
+    /// Estimated index footprint ([`ScanIndex::memory_bytes`]).
+    pub bytes: usize,
+    /// Distinct ε breakpoints (the engine's cache-class count).
+    pub breakpoints: usize,
+    /// Whether this is the registry's default graph.
+    pub is_default: bool,
+}
+
+/// Monotonic registry counters plus current residency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Graphs currently resident (excluding in-flight loads).
+    pub graphs: usize,
+    /// Loads currently in flight.
+    pub loading: usize,
+    /// Estimated bytes of resident index memory.
+    pub bytes_resident: usize,
+    /// The configured budget, if any.
+    pub byte_budget: Option<usize>,
+    /// Successful admissions.
+    pub loads: u64,
+    /// Load calls that waited on another session's in-flight load.
+    pub coalesced_loads: u64,
+    /// Loads that failed (build error or rejected admission).
+    pub load_failures: u64,
+    /// Explicit `UNLOAD`s.
+    pub unloads: u64,
+    /// Graphs evicted to make room under the byte/count budget.
+    pub evictions: u64,
+}
+
+/// Check a graph name for protocol use: 1–64 characters drawn from
+/// `[A-Za-z0-9_.-]`. Names appear verbatim in the wire protocol (as
+/// `@name` prefixes and `LOAD`/`UNLOAD` arguments), so whitespace and
+/// exotic characters are rejected at the door.
+pub fn validate_graph_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("empty name".into());
+    }
+    if name.len() > 64 {
+        return Err(format!("name longer than 64 bytes ({})", name.len()));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')))
+    {
+        return Err(format!(
+            "character {bad:?} not allowed (use [A-Za-z0-9_.-])"
+        ));
+    }
+    Ok(())
+}
+
+/// One resident graph.
+struct GraphEntry {
+    engine: Arc<QueryEngine>,
+    bytes: usize,
+    /// Global tick of the most recent query/lookup; the eviction victim
+    /// is the Ready entry with the smallest tick.
+    last_used: AtomicU64,
+}
+
+/// The once-cell a load leader publishes through; `None` while loading.
+#[derive(Default)]
+struct LoadSlot {
+    state: Mutex<Option<Result<Arc<GraphEntry>, RegistryError>>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    Ready(Arc<GraphEntry>),
+    Loading(Arc<LoadSlot>),
+}
+
+#[derive(Default)]
+struct RegistryCounters {
+    loads: AtomicU64,
+    coalesced_loads: AtomicU64,
+    load_failures: AtomicU64,
+    unloads: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A named collection of resident [`QueryEngine`]s with byte-budgeted
+/// LRU admission and coalesced loading. See the module docs.
+pub struct GraphRegistry {
+    slots: RwLock<HashMap<String, Slot>>,
+    default_name: String,
+    config: RegistryConfig,
+    /// Global recency clock; bumped on every lookup.
+    tick: AtomicU64,
+    counters: RegistryCounters,
+}
+
+impl GraphRegistry {
+    /// An empty registry whose unnamed queries resolve to `default_name`
+    /// (install that graph with [`GraphRegistry::install`]).
+    pub fn new(default_name: impl Into<String>, config: RegistryConfig) -> Self {
+        GraphRegistry {
+            slots: RwLock::new(HashMap::new()),
+            default_name: default_name.into(),
+            config,
+            tick: AtomicU64::new(0),
+            counters: RegistryCounters::default(),
+        }
+    }
+
+    /// Convenience: a registry hosting exactly `engine` as its default
+    /// graph named `"default"`, with no byte budget. This is the
+    /// single-graph serving shape of PR 1.
+    pub fn single(engine: Arc<QueryEngine>) -> Arc<Self> {
+        let registry = GraphRegistry::new("default", RegistryConfig::default());
+        registry
+            .install_engine("default", engine)
+            .expect("empty registry admits one unbudgeted graph");
+        Arc::new(registry)
+    }
+
+    /// The name unaddressed queries resolve to.
+    pub fn default_name(&self) -> &str {
+        &self.default_name
+    }
+
+    /// The registry-wide engine configuration.
+    pub fn engine_config(&self) -> EngineConfig {
+        self.config.engine
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Resolve `name` (or the default graph for `None`) to its engine,
+    /// refreshing its recency. Errors if the graph is absent or still
+    /// loading.
+    pub fn get(&self, name: Option<&str>) -> Result<(String, Arc<QueryEngine>), RegistryError> {
+        let name = name.unwrap_or(&self.default_name);
+        let slots = read_lock(&self.slots);
+        match slots.get(name) {
+            Some(Slot::Ready(entry)) => {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                Ok((name.to_string(), Arc::clone(&entry.engine)))
+            }
+            Some(Slot::Loading(_)) => Err(RegistryError::Loading { name: name.into() }),
+            None => Err(RegistryError::NotFound { name: name.into() }),
+        }
+    }
+
+    /// Install an already-built index under `name` (the boot path and
+    /// the programmatic API; protocol `LOAD`s go through
+    /// [`GraphRegistry::load_with`]). Replaces nothing: loading over an
+    /// existing name is reported as [`LoadOutcome::AlreadyLoaded`] by
+    /// `load_with`, and `install` on an existing name is an error via
+    /// admission of a duplicate — call [`GraphRegistry::unload`] first.
+    pub fn install(
+        &self,
+        name: impl Into<String>,
+        index: ScanIndex,
+    ) -> Result<Arc<QueryEngine>, RegistryError> {
+        let engine = Arc::new(QueryEngine::new(Arc::new(index), self.config.engine));
+        self.install_engine(name, engine)
+    }
+
+    /// Install a pre-configured engine under `name`.
+    pub fn install_engine(
+        &self,
+        name: impl Into<String>,
+        engine: Arc<QueryEngine>,
+    ) -> Result<Arc<QueryEngine>, RegistryError> {
+        let name = name.into();
+        if let Err(message) = validate_graph_name(&name) {
+            return Err(RegistryError::BadName { name, message });
+        }
+        let bytes = engine.index().memory_bytes();
+        let entry = Arc::new(GraphEntry {
+            engine: Arc::clone(&engine),
+            bytes,
+            last_used: AtomicU64::new(self.next_tick()),
+        });
+        let mut slots = write_lock(&self.slots);
+        match slots.get(&name) {
+            Some(Slot::Ready(_)) => {
+                return Err(RegistryError::LoadFailed {
+                    name,
+                    message: "a graph with this name is already loaded (UNLOAD it first)".into(),
+                })
+            }
+            Some(Slot::Loading(_)) => return Err(RegistryError::Loading { name }),
+            None => {}
+        }
+        self.admit_locked(&mut slots, &name, entry)?;
+        self.counters.loads.fetch_add(1, Ordering::Relaxed);
+        Ok(engine)
+    }
+
+    /// Admit `entry` under `name`, evicting least-recently-used
+    /// non-default graphs until both the byte budget and the graph-count
+    /// budget hold. Caller holds the write lock and has verified the
+    /// name is free.
+    fn admit_locked(
+        &self,
+        slots: &mut HashMap<String, Slot>,
+        name: &str,
+        entry: Arc<GraphEntry>,
+    ) -> Result<(), RegistryError> {
+        let budget = self.config.byte_budget;
+        if let Some(budget) = budget {
+            if entry.bytes > budget {
+                return Err(RegistryError::BudgetExceeded {
+                    name: name.into(),
+                    bytes: entry.bytes,
+                    budget,
+                });
+            }
+        }
+        loop {
+            let resident: usize = slots
+                .values()
+                .filter_map(|s| match s {
+                    Slot::Ready(e) => Some(e.bytes),
+                    Slot::Loading(_) => None,
+                })
+                .sum();
+            let ready_count = slots
+                .values()
+                .filter(|s| matches!(s, Slot::Ready(_)))
+                .count();
+            let bytes_ok = budget.is_none_or(|b| resident + entry.bytes <= b);
+            let count_ok = ready_count < self.config.max_graphs;
+            if bytes_ok && count_ok {
+                break;
+            }
+            // Evict the least-recently-queried Ready graph; the default
+            // graph is pinned (only an explicit UNLOAD removes it).
+            let victim = slots
+                .iter()
+                .filter_map(|(n, s)| match s {
+                    Slot::Ready(e) if n != &self.default_name => {
+                        Some((n.clone(), e.last_used.load(Ordering::Relaxed)))
+                    }
+                    _ => None,
+                })
+                .min_by_key(|&(_, tick)| tick)
+                .map(|(n, _)| n);
+            let Some(victim) = victim else {
+                // Report the budget that actually failed: bytes when the
+                // footprint does not fit, otherwise the graph count.
+                return Err(if bytes_ok {
+                    RegistryError::TooManyGraphs {
+                        name: name.into(),
+                        max_graphs: self.config.max_graphs,
+                    }
+                } else {
+                    RegistryError::BudgetExceeded {
+                        name: name.into(),
+                        bytes: entry.bytes,
+                        budget: budget.expect("bytes only fail under a byte budget"),
+                    }
+                });
+            };
+            slots.remove(&victim);
+            self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        slots.insert(name.to_string(), Slot::Ready(entry));
+        Ok(())
+    }
+
+    /// Load a graph under `name`, building the index with `build` only
+    /// if nobody else is: an already-resident name returns immediately
+    /// ([`LoadOutcome::AlreadyLoaded`]) and a concurrent load of the
+    /// same name blocks on the leader's outcome
+    /// ([`LoadOutcome::Coalesced`]) instead of building twice.
+    pub fn load_with<F>(
+        &self,
+        name: &str,
+        build: F,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>
+    where
+        F: FnOnce() -> Result<ScanIndex, String>,
+    {
+        if let Err(message) = validate_graph_name(name) {
+            return Err(RegistryError::BadName {
+                name: name.into(),
+                message,
+            });
+        }
+        // Phase 1: register as leader, join as follower, or return early.
+        let load_slot = {
+            let mut slots = write_lock(&self.slots);
+            match slots.get(name) {
+                Some(Slot::Ready(entry)) => {
+                    entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                    return Ok((Arc::clone(&entry.engine), LoadOutcome::AlreadyLoaded));
+                }
+                Some(Slot::Loading(slot)) => {
+                    let slot = Arc::clone(slot);
+                    drop(slots);
+                    self.counters
+                        .coalesced_loads
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut state = lock_mutex(&slot.state);
+                    while state.is_none() {
+                        state = slot
+                            .cv
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    return match state.as_ref().expect("waited for Some") {
+                        Ok(entry) => Ok((Arc::clone(&entry.engine), LoadOutcome::Coalesced)),
+                        Err(e) => Err(e.clone()),
+                    };
+                }
+                None => {
+                    let slot = Arc::new(LoadSlot::default());
+                    slots.insert(name.to_string(), Slot::Loading(Arc::clone(&slot)));
+                    slot
+                }
+            }
+        };
+
+        // Phase 2 (leader): build outside any lock, then admit. The
+        // guard guarantees followers are woken and the Loading slot is
+        // removed even if `build` unwinds.
+        struct LoadGuard<'r> {
+            registry: &'r GraphRegistry,
+            name: String,
+            slot: Arc<LoadSlot>,
+            done: bool,
+        }
+        impl LoadGuard<'_> {
+            fn publish(&mut self, outcome: Result<Arc<GraphEntry>, RegistryError>) {
+                self.done = true;
+                *lock_mutex(&self.slot.state) = Some(outcome);
+                self.slot.cv.notify_all();
+            }
+        }
+        impl Drop for LoadGuard<'_> {
+            fn drop(&mut self) {
+                if !self.done {
+                    // Unwound mid-build: clear the Loading slot so the
+                    // name becomes loadable again, and fail followers.
+                    let mut slots = write_lock(&self.registry.slots);
+                    if matches!(slots.get(&self.name), Some(Slot::Loading(_))) {
+                        slots.remove(&self.name);
+                    }
+                    drop(slots);
+                    *lock_mutex(&self.slot.state) = Some(Err(RegistryError::LoadFailed {
+                        name: self.name.clone(),
+                        message: "load was abandoned".into(),
+                    }));
+                    self.slot.cv.notify_all();
+                }
+            }
+        }
+        let mut guard = LoadGuard {
+            registry: self,
+            name: name.to_string(),
+            slot: load_slot,
+            done: false,
+        };
+
+        let admit = |index: ScanIndex| -> Result<Arc<GraphEntry>, RegistryError> {
+            let engine = Arc::new(QueryEngine::new(Arc::new(index), self.config.engine));
+            let entry = Arc::new(GraphEntry {
+                bytes: engine.index().memory_bytes(),
+                engine,
+                last_used: AtomicU64::new(self.next_tick()),
+            });
+            let mut slots = write_lock(&self.slots);
+            // Our Loading marker holds the name; remove it and admit.
+            slots.remove(name);
+            self.admit_locked(&mut slots, name, Arc::clone(&entry))?;
+            Ok(entry)
+        };
+        let outcome = match build() {
+            Ok(index) => admit(index),
+            Err(message) => {
+                // Build failed: free the name for retries.
+                let mut slots = write_lock(&self.slots);
+                slots.remove(name);
+                drop(slots);
+                Err(RegistryError::LoadFailed {
+                    name: name.into(),
+                    message,
+                })
+            }
+        };
+        guard.publish(outcome.clone());
+        match outcome {
+            Ok(entry) => {
+                self.counters.loads.fetch_add(1, Ordering::Relaxed);
+                Ok((Arc::clone(&entry.engine), LoadOutcome::Loaded))
+            }
+            Err(e) => {
+                self.counters.load_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Load a graph or persisted index from a server-local file. File
+    /// type is detected by extension exactly as in the CLI: `.pscidx`
+    /// (persisted index), `.bin` (parscan binary graph),
+    /// `.graph`/`.metis` (METIS), anything else a whitespace edge list.
+    /// Graph files are indexed with [`IndexConfig::default`].
+    pub fn load_path(
+        &self,
+        name: &str,
+        path: &str,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError> {
+        self.load_with(name, || build_index_from_path(path))
+    }
+
+    /// Remove a graph. Errors while a load of the same name is in
+    /// flight. Returns the freed (estimated) bytes. The default graph
+    /// *may* be unloaded — subsequent unaddressed queries then error
+    /// until it is loaded again.
+    pub fn unload(&self, name: &str) -> Result<usize, RegistryError> {
+        let mut slots = write_lock(&self.slots);
+        match slots.get(name) {
+            Some(Slot::Ready(entry)) => {
+                let bytes = entry.bytes;
+                slots.remove(name);
+                self.counters.unloads.fetch_add(1, Ordering::Relaxed);
+                Ok(bytes)
+            }
+            Some(Slot::Loading(_)) => Err(RegistryError::Loading { name: name.into() }),
+            None => Err(RegistryError::NotFound { name: name.into() }),
+        }
+    }
+
+    /// Describe every resident graph, sorted by name.
+    pub fn list(&self) -> Vec<GraphInfo> {
+        let slots = read_lock(&self.slots);
+        let mut infos: Vec<GraphInfo> = slots
+            .iter()
+            .filter_map(|(name, slot)| match slot {
+                Slot::Ready(entry) => {
+                    let g = entry.engine.index().graph();
+                    Some(GraphInfo {
+                        name: name.clone(),
+                        vertices: g.num_vertices(),
+                        edges: g.num_edges(),
+                        bytes: entry.bytes,
+                        breakpoints: entry.engine.num_breakpoints(),
+                        is_default: name == &self.default_name,
+                    })
+                }
+                Slot::Loading(_) => None,
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Snapshot residency and the monotonic counters.
+    pub fn stats(&self) -> RegistryStats {
+        let slots = read_lock(&self.slots);
+        let mut graphs = 0usize;
+        let mut loading = 0usize;
+        let mut bytes_resident = 0usize;
+        for slot in slots.values() {
+            match slot {
+                Slot::Ready(e) => {
+                    graphs += 1;
+                    bytes_resident += e.bytes;
+                }
+                Slot::Loading(_) => loading += 1,
+            }
+        }
+        RegistryStats {
+            graphs,
+            loading,
+            bytes_resident,
+            byte_budget: self.config.byte_budget,
+            loads: self.counters.loads.load(Ordering::Relaxed),
+            coalesced_loads: self.counters.coalesced_loads.load(Ordering::Relaxed),
+            load_failures: self.counters.load_failures.load(Ordering::Relaxed),
+            unloads: self.counters.unloads.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Extension-dispatched index construction for [`GraphRegistry::load_path`].
+fn build_index_from_path(path: &str) -> Result<ScanIndex, String> {
+    if path.ends_with(".pscidx") {
+        return ScanIndex::load(path).map_err(|e| format!("cannot load index {path}: {e}"));
+    }
+    let load = if path.ends_with(".bin") {
+        parscan_graph::io::read_binary(path)
+    } else if path.ends_with(".graph") || path.ends_with(".metis") {
+        parscan_graph::metis::read_metis(path)
+    } else {
+        parscan_graph::io::read_edge_list_text(path, None)
+    };
+    let g = load.map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(ScanIndex::build(g, IndexConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parscan_core::QueryParams;
+    use parscan_graph::generators;
+    use std::sync::atomic::AtomicUsize;
+
+    fn small_index(seed: u64) -> ScanIndex {
+        let (g, _) = generators::planted_partition(120, 3, 8.0, 1.0, seed);
+        ScanIndex::build(g, IndexConfig::default())
+    }
+
+    fn index_bytes() -> usize {
+        small_index(1).memory_bytes()
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_graph_name("web-2024.v1_final").is_ok());
+        assert!(validate_graph_name("").is_err());
+        assert!(validate_graph_name("has space").is_err());
+        assert!(validate_graph_name("semi;colon").is_err());
+        assert!(validate_graph_name(&"x".repeat(65)).is_err());
+        let r = GraphRegistry::new("d", RegistryConfig::default());
+        assert!(matches!(
+            r.install("bad name", small_index(1)),
+            Err(RegistryError::BadName { .. })
+        ));
+    }
+
+    #[test]
+    fn default_resolution_and_named_lookup() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        r.install("main", small_index(1)).unwrap();
+        r.install("other", small_index(2)).unwrap();
+        let (name, _) = r.get(None).unwrap();
+        assert_eq!(name, "main");
+        let (name, engine) = r.get(Some("other")).unwrap();
+        assert_eq!(name, "other");
+        assert!(!engine
+            .cluster(QueryParams::new(2, 0.3))
+            .clustering
+            .labels
+            .is_empty());
+        assert!(matches!(
+            r.get(Some("absent")),
+            Err(RegistryError::NotFound { .. })
+        ));
+        let infos = r.list();
+        assert_eq!(infos.len(), 2);
+        assert!(infos.iter().any(|i| i.name == "main" && i.is_default));
+        assert!(infos.iter().any(|i| i.name == "other" && !i.is_default));
+    }
+
+    #[test]
+    fn duplicate_install_is_rejected_until_unload() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        r.install("main", small_index(1)).unwrap();
+        assert!(r.install("main", small_index(2)).is_err());
+        let freed = r.unload("main").unwrap();
+        assert!(freed > 0);
+        r.install("main", small_index(2)).unwrap();
+        assert!(matches!(
+            r.unload("gone"),
+            Err(RegistryError::NotFound { .. })
+        ));
+        assert_eq!(r.stats().unloads, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_pins_default() {
+        let one = index_bytes();
+        // Room for the default plus two extras.
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                byte_budget: Some(3 * one + one / 2),
+                ..Default::default()
+            },
+        );
+        r.install("boot", small_index(1)).unwrap();
+        r.install("a", small_index(2)).unwrap();
+        r.install("b", small_index(3)).unwrap();
+        assert_eq!(r.stats().graphs, 3);
+        // Touch "a" so "b" is the LRU victim.
+        r.get(Some("a")).unwrap();
+        r.install("c", small_index(4)).unwrap();
+        let names: Vec<String> = r.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, ["a", "boot", "c"], "b was LRU and must go");
+        assert_eq!(r.stats().evictions, 1);
+        // The default graph is pinned: filling the registry repeatedly
+        // never evicts it.
+        for (i, name) in ["d", "e", "f"].iter().enumerate() {
+            r.install(*name, small_index(10 + i as u64)).unwrap();
+        }
+        assert!(r.get(None).is_ok(), "default graph must survive pressure");
+        let stats = r.stats();
+        assert!(stats.bytes_resident <= stats.byte_budget.unwrap());
+    }
+
+    #[test]
+    fn impossible_admission_is_rejected() {
+        let one = index_bytes();
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                byte_budget: Some(one / 2), // smaller than any index
+                ..Default::default()
+            },
+        );
+        let err = r.install("boot", small_index(1)).unwrap_err();
+        assert!(matches!(err, RegistryError::BudgetExceeded { .. }), "{err}");
+        assert_eq!(r.stats().graphs, 0);
+        // Budget for exactly one: the default fits, a second non-default
+        // install evicts nothing (only the pinned default is resident)
+        // and is rejected.
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                byte_budget: Some(one + one / 2),
+                ..Default::default()
+            },
+        );
+        r.install("boot", small_index(1)).unwrap();
+        let err = r.install("big", small_index(2)).unwrap_err();
+        assert!(matches!(err, RegistryError::BudgetExceeded { .. }), "{err}");
+        assert!(r.get(None).is_ok());
+    }
+
+    #[test]
+    fn max_graphs_budget_evicts_by_count() {
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                max_graphs: 2,
+                ..Default::default()
+            },
+        );
+        r.install("boot", small_index(1)).unwrap();
+        r.install("a", small_index(2)).unwrap();
+        r.install("b", small_index(3)).unwrap();
+        assert_eq!(r.stats().graphs, 2);
+        assert!(r.get(Some("a")).is_err(), "a was LRU and must be evicted");
+        assert!(r.get(Some("b")).is_ok());
+        assert!(r.get(None).is_ok());
+
+        // With only the pinned default resident and max_graphs 1, a new
+        // install has no victim: the error names the count budget, not a
+        // phantom byte budget.
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                max_graphs: 1,
+                ..Default::default()
+            },
+        );
+        r.install("boot", small_index(1)).unwrap();
+        let err = r.install("extra", small_index(2)).unwrap_err();
+        assert!(matches!(err, RegistryError::TooManyGraphs { .. }), "{err}");
+        assert!(err.to_string().contains("maximum of 1"), "{err}");
+    }
+
+    #[test]
+    fn load_with_reports_already_loaded() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        let (_, outcome) = r.load_with("main", || Ok(small_index(1))).unwrap();
+        assert_eq!(outcome, LoadOutcome::Loaded);
+        let built_again = AtomicUsize::new(0);
+        let (_, outcome) = r
+            .load_with("main", || {
+                built_again.fetch_add(1, Ordering::Relaxed);
+                Ok(small_index(1))
+            })
+            .unwrap();
+        assert_eq!(outcome, LoadOutcome::AlreadyLoaded);
+        assert_eq!(built_again.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn failed_load_frees_the_name() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        let err = r
+            .load_with("g", || Err("synthetic failure".into()))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::LoadFailed { .. }), "{err}");
+        assert_eq!(r.stats().load_failures, 1);
+        // The name is free again; a retry succeeds.
+        let (_, outcome) = r.load_with("g", || Ok(small_index(1))).unwrap();
+        assert_eq!(outcome, LoadOutcome::Loaded);
+    }
+
+    #[test]
+    fn concurrent_loads_of_one_name_build_once() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        const THREADS: usize = 6;
+        let builds = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(THREADS);
+        let outcomes: Vec<LoadOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let (r, builds, barrier) = (&r, &builds, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        let (_, outcome) = r
+                            .load_with("shared", || {
+                                builds.fetch_add(1, Ordering::Relaxed);
+                                // Widen the in-flight window so followers
+                                // genuinely coalesce rather than racing
+                                // past a finished load.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                Ok(small_index(9))
+                            })
+                            .expect("load");
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            builds.load(Ordering::Relaxed),
+            1,
+            "exactly one build for {THREADS} concurrent LOADs"
+        );
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|&&o| o == LoadOutcome::Loaded)
+                .count(),
+            1
+        );
+        let stats = r.stats();
+        assert_eq!(stats.loads, 1);
+        assert!(stats.coalesced_loads >= 1, "{stats:?}");
+        // Exactly one engine is resident and shared.
+        let (_, e1) = r.get(Some("shared")).unwrap();
+        let (_, e2) = r.get(Some("shared")).unwrap();
+        assert!(Arc::ptr_eq(&e1, &e2));
+    }
+
+    #[test]
+    fn load_path_round_trips_an_edge_list() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("parscan-registry-{}.txt", std::process::id()));
+        let (g, _) = generators::planted_partition(80, 2, 7.0, 1.0, 3);
+        parscan_graph::io::write_edge_list_text(&g, &path).unwrap();
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        let (engine, outcome) = r
+            .load_path("fromfile", path.to_str().unwrap())
+            .expect("load from edge list");
+        assert_eq!(outcome, LoadOutcome::Loaded);
+        assert_eq!(engine.index().graph().num_vertices(), 80);
+        assert!(matches!(
+            r.load_path("nope", "/definitely/not/here.txt"),
+            Err(RegistryError::LoadFailed { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,8 +1,9 @@
 //! The TCP serving loop: per-connection sessions over `std::net`, a
 //! graceful shutdown path, and server-level counters.
 //!
-//! One thread per connection reads newline-terminated requests, executes
-//! them against the shared [`QueryEngine`], and writes one JSON line per
+//! One thread per connection reads newline-terminated requests, resolves
+//! each against the shared [`GraphRegistry`] (the default graph unless
+//! the request carries an `@name` address), and writes one JSON line per
 //! request. Connection reads use a short timeout so every session thread
 //! notices the shutdown flag promptly; `shutdown()` (or a client's
 //! `SHUTDOWN` command) flips the flag, unblocks the acceptor with a
@@ -11,29 +12,53 @@
 
 use crate::batch::BatchExecutor;
 use crate::engine::QueryEngine;
-use crate::protocol::{parse_request, Request, Response};
+use crate::protocol::{parse_request, Request, Response, StatsGraph};
+use crate::registry::GraphRegistry;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shared server state.
 struct ServerShared {
-    engine: Arc<QueryEngine>,
+    registry: Arc<GraphRegistry>,
     shutdown: AtomicBool,
     /// Total sessions ever accepted.
     sessions: AtomicU64,
 }
 
 impl ServerShared {
-    fn stats_response(&self, session_requests: u64) -> Response {
-        let g = self.engine.index().graph();
+    /// The `STATS` response: registry-wide counters always, plus the
+    /// engine counters of the addressed graph. An *explicitly* addressed
+    /// absent graph is an error (top-level and batched alike); an
+    /// unaddressed `STATS` still reports registry counters even when the
+    /// default graph has been unloaded.
+    fn stats_response(&self, graph: Option<&str>, session_requests: u64) -> Response {
+        let resolved = match graph {
+            Some(name) => match self.registry.get(Some(name)) {
+                Ok(pair) => Some(pair),
+                Err(e) => {
+                    return Response::Error {
+                        message: e.to_string(),
+                    }
+                }
+            },
+            None => self.registry.get(None).ok(),
+        };
+        let graph = resolved.map(|(name, engine)| {
+            let g = engine.index().graph();
+            StatsGraph {
+                name,
+                engine: engine.stats(),
+                graph_n: g.num_vertices(),
+                graph_m: g.num_edges(),
+                breakpoints: engine.num_breakpoints(),
+            }
+        });
         Response::Stats {
-            engine: self.engine.stats(),
-            graph_n: g.num_vertices(),
-            graph_m: g.num_edges(),
-            breakpoints: self.engine.num_breakpoints(),
+            graph,
+            registry: self.registry.stats(),
             sessions: self.sessions.load(Ordering::Relaxed),
             session_requests,
         }
@@ -55,8 +80,19 @@ impl ServerHandle {
         self.addr
     }
 
-    pub fn engine(&self) -> &Arc<QueryEngine> {
-        &self.shared.engine
+    /// The hosted registry.
+    pub fn registry(&self) -> &Arc<GraphRegistry> {
+        &self.shared.registry
+    }
+
+    /// The default graph's engine. Panics if the default graph has been
+    /// unloaded — use [`ServerHandle::registry`] for fallible access.
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        self.shared
+            .registry
+            .get(None)
+            .expect("default graph is resident")
+            .1
     }
 
     /// Request shutdown and block until the acceptor and every session
@@ -84,13 +120,17 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` and serve `engine` until shutdown. Returns once the
-/// listener is bound and accepting, so callers may connect immediately.
-pub fn serve(engine: Arc<QueryEngine>, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+/// Bind `addr` and serve every graph in `registry` until shutdown.
+/// Returns once the listener is bound and accepting, so callers may
+/// connect immediately.
+pub fn serve(
+    registry: Arc<GraphRegistry>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(ServerShared {
-        engine,
+        registry,
         shutdown: AtomicBool::new(false),
         sessions: AtomicU64::new(0),
     });
@@ -106,6 +146,16 @@ pub fn serve(engine: Arc<QueryEngine>, addr: impl ToSocketAddrs) -> std::io::Res
         shared,
         accept_thread: Some(accept_thread),
     })
+}
+
+/// Convenience: serve a single engine as the default graph `"default"`
+/// with no byte budget — the single-graph shape of PR 1. Clients may
+/// still `LOAD` more graphs at runtime.
+pub fn serve_engine(
+    engine: Arc<QueryEngine>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    serve(GraphRegistry::single(engine), addr)
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
@@ -270,39 +320,105 @@ fn handle_line(
         Ok(r) => r,
         Err(message) => return (Response::Error { message }, Control::Continue),
     };
-    let engine = &shared.engine;
+    let registry = &shared.registry;
+    // Resolve a query's graph address to its engine, turning registry
+    // errors (unknown name, still loading) into protocol error messages.
+    let resolve = |graph: Option<&str>| registry.get(graph).map_err(|e| e.to_string());
     match request {
         Request::Ping => (Response::Pong, Control::Continue),
-        Request::Stats => (shared.stats_response(session_requests), Control::Continue),
-        Request::Cluster { params, full } => (
-            Response::Cluster {
-                params,
-                outcome: engine.cluster(params),
-                full,
+        Request::Stats { graph } => (
+            shared.stats_response(graph.as_deref(), session_requests),
+            Control::Continue,
+        ),
+        Request::List => (
+            Response::List {
+                default: registry.default_name().to_string(),
+                graphs: registry.list(),
             },
             Control::Continue,
         ),
-        Request::Probe { vertex, params } => (
-            match engine.probe(vertex, params) {
-                Ok(probe) => Response::Probe {
-                    vertex,
+        Request::Load { name, path } => {
+            let start = Instant::now();
+            (
+                match registry.load_path(&name, &path) {
+                    Ok((engine, outcome)) => {
+                        let g = engine.index().graph();
+                        Response::Loaded {
+                            name,
+                            outcome,
+                            vertices: g.num_vertices(),
+                            edges: g.num_edges(),
+                            bytes: engine.index().memory_bytes(),
+                            millis: start.elapsed().as_millis() as u64,
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                Control::Continue,
+            )
+        }
+        Request::Unload { name } => (
+            match registry.unload(&name) {
+                Ok(bytes_freed) => Response::Unloaded { name, bytes_freed },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Control::Continue,
+        ),
+        Request::Cluster {
+            graph,
+            params,
+            full,
+        } => (
+            match resolve(graph.as_deref()) {
+                Ok((canonical, engine)) => Response::Cluster {
+                    graph: canonical,
                     params,
-                    probe,
+                    outcome: engine.cluster(params),
+                    full,
                 },
                 Err(message) => Response::Error { message },
             },
             Control::Continue,
         ),
-        Request::Sweep { eps_step } => (
-            match engine.sweep_best(eps_step) {
-                Ok(best) => Response::Sweep { best },
+        Request::Probe {
+            graph,
+            vertex,
+            params,
+        } => (
+            match resolve(graph.as_deref()) {
+                Ok((canonical, engine)) => match engine.probe(vertex, params) {
+                    Ok(probe) => Response::Probe {
+                        graph: canonical,
+                        vertex,
+                        params,
+                        probe,
+                    },
+                    Err(message) => Response::Error { message },
+                },
+                Err(message) => Response::Error { message },
+            },
+            Control::Continue,
+        ),
+        Request::Sweep { graph, eps_step } => (
+            match resolve(graph.as_deref()) {
+                Ok((canonical, engine)) => match engine.sweep_best(eps_step) {
+                    Ok(best) => Response::Sweep {
+                        graph: canonical,
+                        best,
+                    },
+                    Err(message) => Response::Error { message },
+                },
                 Err(message) => Response::Error { message },
             },
             Control::Continue,
         ),
         Request::Batch(inner) => {
-            let responses = BatchExecutor::new(engine)
-                .execute(&inner, || shared.stats_response(session_requests));
+            let responses = BatchExecutor::new(registry)
+                .execute(&inner, |g| shared.stats_response(g, session_requests));
             (Response::Batch(responses), Control::Continue)
         }
         Request::Quit => (Response::Bye { shutdown: false }, Control::Close),
@@ -324,7 +440,7 @@ mod tests {
             Arc::new(ScanIndex::build(g, IndexConfig::default())),
             EngineConfig::default(),
         ));
-        serve(engine, "127.0.0.1:0").expect("bind")
+        serve_engine(engine, "127.0.0.1:0").expect("bind")
     }
 
     fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {

@@ -9,8 +9,10 @@
 //! parscan cluster  <graph|index> --mu M --eps E    one SCAN clustering
 //!                  [--jaccard] [--approx K] [--out FILE]
 //! parscan sweep    <graph|index> [--eps-step S]    grid-search best modularity
-//! parscan serve    <graph|index> --port P          TCP query server over a
-//!                  [--host H] [--cache N]          resident index
+//! parscan serve    <graph|index> --port P          TCP query server over one or
+//!                  [--host H] [--cache N]          more resident indexes
+//!                  [--name NAME] [--graph NAME=PATH]...
+//!                  [--budget MIB] [--max-graphs N]
 //! parscan convert  <in> <out>                      convert between formats
 //! parscan generate <kind> --n N --out FILE         synthetic graphs
 //!                  (kinds: rmat, er, sbm, wsbm)
@@ -58,6 +60,7 @@ const USAGE: &str = "usage:
   parscan cluster  <graph|index.pscidx> --mu M --eps E [--jaccard] [--approx K] [--out FILE]
   parscan sweep    <graph|index.pscidx> [--eps-step S]
   parscan serve    <graph|index.pscidx> --port P [--host H] [--cache N] [--jaccard] [--approx K]
+                   [--name NAME] [--graph NAME=PATH]... [--budget MIB] [--max-graphs N]
   parscan convert  <in> <out>          (formats by extension: .bin, .graph/.metis, text)
   parscan generate (rmat|er|sbm|wsbm) --n N [--deg D] [--seed S] --out FILE";
 
@@ -71,6 +74,15 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Every value of a repeatable `--name value` flag, in order.
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
 }
 
 fn parse<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
@@ -268,25 +280,61 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let port: u16 = parse(args, "--port")?.ok_or("--port is required")?;
     let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
     let cache: usize = parse(args, "--cache")?.unwrap_or(128);
+    let boot_name = flag(args, "--name").unwrap_or_else(|| "default".to_string());
+    let budget_mib: Option<usize> = parse(args, "--budget")?;
+    let max_graphs: usize = parse(args, "--max-graphs")?.unwrap_or(64);
 
-    let index = Arc::new(load_or_build_index(path, args)?);
-    let n = index.graph().num_vertices();
-    let m = index.graph().num_edges();
-    let engine = Arc::new(QueryEngine::new(
-        index,
-        EngineConfig {
-            cache_capacity: cache,
-            ..Default::default()
+    // The boot graph honors --jaccard/--approx; additional graphs
+    // (preloaded here or LOADed at runtime) use the default index
+    // configuration, exactly like the protocol's LOAD command.
+    let index = load_or_build_index(path, args)?;
+    let registry = Arc::new(GraphRegistry::new(
+        boot_name.clone(),
+        RegistryConfig {
+            byte_budget: budget_mib.map(|m| m * (1 << 20)),
+            max_graphs,
+            engine: EngineConfig {
+                cache_capacity: cache,
+                ..Default::default()
+            },
         },
     ));
-    let server = serve(engine, (host.as_str(), port))
+    registry
+        .install(boot_name.clone(), index)
+        .map_err(|e| e.to_string())?;
+    for spec in flag_values(args, "--graph") {
+        let (name, gpath) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--graph expects NAME=PATH, got {spec:?}"))?;
+        registry.load_path(name, gpath).map_err(|e| e.to_string())?;
+    }
+
+    let server = serve(Arc::clone(&registry), (host.as_str(), port))
         .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    let stats = registry.stats();
     println!(
-        "serving {n} vertices / {m} edges on {} ({} ε-breakpoints, cache {cache}); \
-         line protocol: CLUSTER/PROBE/SWEEP/STATS/BATCH/PING/QUIT/SHUTDOWN",
+        "serving {} graph(s) on {} (~{} MiB resident{}, cache {cache}/graph); \
+         line protocol: [@graph] CLUSTER/PROBE/SWEEP/STATS, LOAD/UNLOAD/LIST, \
+         BATCH/PING/QUIT/SHUTDOWN",
+        stats.graphs,
         server.addr(),
-        server.engine().num_breakpoints(),
+        stats.bytes_resident / (1 << 20),
+        match stats.byte_budget {
+            Some(b) => format!(" of {} MiB budget", b / (1 << 20)),
+            None => String::new(),
+        },
     );
+    for info in registry.list() {
+        println!(
+            "  @{}{}: {} vertices / {} edges, {} ε-breakpoints (~{} MiB)",
+            info.name,
+            if info.is_default { " (default)" } else { "" },
+            info.vertices,
+            info.edges,
+            info.breakpoints,
+            info.bytes / (1 << 20),
+        );
+    }
     // Runs until a client sends SHUTDOWN.
     server.wait();
     println!("server stopped");

@@ -19,9 +19,11 @@
 //! - [`metrics`] — modularity, ARI & NMI ([`parscan_metrics`])
 //! - [`parallel`] — the fork-join substrate: flat pool, primitives, and a
 //!   nested work-stealing `join` ([`parscan_parallel`])
-//! - [`server`] — concurrent query serving: a cached [`QueryEngine`]
-//!   over a resident index, batched execution, and a TCP line/JSON
-//!   protocol ([`parscan_server`])
+//! - [`server`] — concurrent query serving: named resident indexes in a
+//!   byte-budgeted [`GraphRegistry`](parscan_server::GraphRegistry),
+//!   cached [`QueryEngine`](parscan_server::QueryEngine)s with in-flight
+//!   request coalescing, batched execution, and a TCP line/JSON protocol
+//!   ([`parscan_server`]; see `docs/PROTOCOL.md`)
 //!
 //! ## Quick start
 //!
@@ -57,5 +59,7 @@ pub mod prelude {
         QueryParams, ScanIndex, SimilarityMeasure, VertexProbe, VertexRole, UNCLUSTERED,
     };
     pub use parscan_graph::{CsrGraph, VertexId};
-    pub use parscan_server::{serve, EngineConfig, QueryEngine, ServerHandle};
+    pub use parscan_server::{
+        serve, serve_engine, EngineConfig, GraphRegistry, QueryEngine, RegistryConfig, ServerHandle,
+    };
 }
