@@ -158,23 +158,11 @@ pub fn approx_similarities(g: &CsrGraph, config: &ApproxConfig) -> EdgeSimilarit
                     None => measure.score_unweighted(open as u64, g.degree(u), g.degree(v)) as f32,
                 }
             };
-            // SAFETY: one writer per canonical slot.
-            unsafe { ptr.write(s, score) };
-        }
-    });
-    // Pass 2: mirror twins.
-    par_for(n, 64, |u| {
-        let u = u as VertexId;
-        for s in g.slot_range(u) {
-            let v = g.slot_neighbor(s);
-            if v >= u {
-                continue;
-            }
-            let twin = g.slot_of(v, u).expect("symmetric");
-            // SAFETY: disjoint slots; pass 1 complete (pool barrier).
+            // SAFETY: the canonical (u, v) pair is the only writer of
+            // slot `s` and of its twin.
             unsafe {
-                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
-                ptr.write(s, val);
+                ptr.write(s, score);
+                ptr.write(g.twin_slot(s), score);
             }
         }
     });

@@ -171,23 +171,11 @@ pub fn sampled_similarities_for(
                     .clamp(0.0, 1.0) as f32,
                 None => measure.score_unweighted_estimate(est, g.degree(uu), g.degree(v)) as f32,
             };
-            // SAFETY: one writer per canonical slot.
-            unsafe { ptr.write(s, score) };
-        }
-    });
-    // Mirror to twin slots.
-    par_for(n, 64, |u| {
-        let uu = u as VertexId;
-        for s in g.slot_range(uu) {
-            let v = g.slot_neighbor(s);
-            if v >= uu {
-                continue;
-            }
-            let twin = g.slot_of(v, uu).expect("symmetric edge");
-            // SAFETY: canonical pass completed (pool barrier); disjoint writes.
+            // SAFETY: the canonical (u, v) pair is the only writer of
+            // slot `s` and of its twin.
             unsafe {
-                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
-                ptr.write(s, val);
+                ptr.write(s, score);
+                ptr.write(g.twin_slot(s), score);
             }
         }
     });

@@ -47,7 +47,7 @@ impl<'g> SequentialGsIndex<'g> {
                 let open = open_intersection_value(g, s) as u64;
                 let score = measure.score_unweighted(open, g.degree(u), g.degree(v)) as f32;
                 sims[s] = score;
-                sims[g.slot_of(v, u).expect("symmetric")] = score;
+                sims[g.twin_slot(s)] = score;
             }
         }
 

@@ -53,7 +53,7 @@ pub fn original_scan(
                 None => measure.score_unweighted(open as u64, g.degree(u), g.degree(v)),
             } as f32;
             sims[s] = score;
-            sims[g.slot_of(v, u).expect("symmetric")] = score;
+            sims[g.twin_slot(s)] = score;
         }
     }
 

@@ -84,8 +84,7 @@ impl<'g> Memo<'g> {
             .score_unweighted(open, self.g.degree(u), self.g.degree(v)) as f32;
         // Races are benign: the score is a pure function of the edge.
         self.cache[s].store(score.to_bits(), Ordering::Relaxed);
-        let twin = self.g.slot_of(v, u).expect("symmetric");
-        self.cache[twin].store(score.to_bits(), Ordering::Relaxed);
+        self.cache[self.g.twin_slot(s)].store(score.to_bits(), Ordering::Relaxed);
         score >= epsilon
     }
 }

@@ -1,0 +1,156 @@
+//! Index-construction benchmark: the repo's perf trajectory for the
+//! offline path the paper's headline claim is about (§6.1, Figure 5).
+//!
+//! Measures the exact-similarity kernels (merge — the contention-free
+//! reworked kernel, merge-atomic — the pre-rework reference, hash, full)
+//! and a full `ScanIndex::build` on three structural regimes: uniform
+//! (Erdős–Rényi), skewed (R-MAT), and weighted (dense planted partition).
+//!
+//! Run with `cargo bench -p parscan-bench --bench index`. Scale inputs
+//! with `PARSCAN_SCALE` (default 1.0), trials with `PARSCAN_TRIALS`.
+//! Emits a table on stdout plus a JSON summary written to the workspace
+//! root as `BENCH_index.json` (override with `PARSCAN_BENCH_OUT`) so
+//! every future perf PR has a committed baseline to regress against.
+
+use parscan_bench::timing::{fmt_time, median_time, trials};
+use parscan_core::similarity_exact::{
+    compute_full_merge, compute_hash_based, compute_merge_based, compute_merge_based_atomic,
+};
+use parscan_core::{IndexConfig, ScanIndex, SimilarityMeasure};
+use parscan_graph::{generators, CsrGraph};
+
+struct Scenario {
+    name: &'static str,
+    regime: &'static str,
+    graph: CsrGraph,
+}
+
+fn scale() -> f64 {
+    std::env::var("PARSCAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let s = scale();
+    let rmat_scale = (13.0 + s.log2()).round().clamp(8.0, 24.0) as u32;
+    let er_n = ((30_000.0 * s) as usize).max(64);
+    let wpp_n = ((4_000.0 * s) as usize).max(64);
+    vec![
+        Scenario {
+            name: "er",
+            regime: "uniform (Erdős–Rényi)",
+            graph: generators::erdos_renyi(er_n, er_n * 8, 0x1d5),
+        },
+        Scenario {
+            name: "rmat",
+            regime: "skewed power-law (R-MAT)",
+            graph: generators::rmat(rmat_scale, 16, 0x1d5),
+        },
+        Scenario {
+            name: "weighted",
+            regime: "weighted dense blocks (SBM)",
+            graph: generators::weighted_planted_partition(wpp_n, 8, 40.0, 4.0, 0x1d5).0,
+        },
+    ]
+}
+
+fn out_path() -> String {
+    if let Ok(path) = std::env::var("PARSCAN_BENCH_OUT") {
+        return path;
+    }
+    // Resolve the workspace root at *runtime*: cargo sets
+    // CARGO_MANIFEST_DIR for `cargo bench` runs, so the summary lands at
+    // the repo root of whatever checkout is executing, not the one the
+    // binary was compiled in. Direct invocations fall back to the CWD.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_index.json"),
+        Err(_) => "BENCH_index.json".into(),
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "index-construction bench: scale={} trials={} threads={}",
+        scale(),
+        trials(),
+        parscan_parallel::num_threads()
+    );
+    for sc in scenarios() {
+        let g = &sc.graph;
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        let measure = SimilarityMeasure::Cosine;
+
+        let merge = median_time(|| {
+            std::hint::black_box(compute_merge_based(g, measure));
+        });
+        let atomic = median_time(|| {
+            std::hint::black_box(compute_merge_based_atomic(g, measure));
+        });
+        let hash = median_time(|| {
+            std::hint::black_box(compute_hash_based(g, measure));
+        });
+        let full = median_time(|| {
+            std::hint::black_box(compute_full_merge(g, measure));
+        });
+        let build = median_time(|| {
+            std::hint::black_box(ScanIndex::build(
+                g.clone(),
+                IndexConfig::with_measure(measure),
+            ));
+        });
+
+        let speedup = atomic / merge;
+        let meps = m as f64 / merge / 1e6;
+        println!(
+            "{:>9}  n={:>7} m={:>8}  merge {:>9} ({:.2} Me/s)  atomic {:>9}  \
+             hash {:>9}  full {:>9}  build {:>9}  speedup-vs-atomic {:.2}x",
+            sc.name,
+            n,
+            m,
+            fmt_time(merge),
+            meps,
+            fmt_time(atomic),
+            fmt_time(hash),
+            fmt_time(full),
+            fmt_time(build),
+            speedup
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"regime\":\"{}\",\"n\":{},\"m\":{},\"weighted\":{},",
+                "\"kernel_secs\":{{\"merge\":{:.6},\"merge_atomic\":{:.6},",
+                "\"hash\":{:.6},\"full\":{:.6}}},",
+                "\"build_secs\":{:.6},\"merge_edges_per_sec\":{:.0},",
+                "\"merge_speedup_vs_atomic\":{:.3}}}"
+            ),
+            sc.name,
+            sc.regime,
+            n,
+            m,
+            g.is_weighted(),
+            merge,
+            atomic,
+            hash,
+            full,
+            build,
+            m as f64 / merge,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"index_construction\",\n  \"scale\": {},\n  \"trials\": {},\n  \
+         \"threads\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scale(),
+        trials(),
+        parscan_parallel::num_threads(),
+        rows.join(",\n")
+    );
+    let path = out_path();
+    std::fs::write(&path, json).expect("write benchmark summary");
+    println!("wrote {path}");
+}

@@ -130,23 +130,11 @@ fn incremental_similarities(
                 );
                 old_sims.slot(old_s)
             };
-            // SAFETY: one writer per canonical slot.
-            unsafe { ptr.write(s, score) };
-        }
-    });
-    // Mirror to twin slots.
-    par_for(n, 64, |a| {
-        let a = a as VertexId;
-        for s in new_graph.slot_range(a) {
-            let b = new_graph.slot_neighbor(s);
-            if b >= a {
-                continue;
-            }
-            let twin = new_graph.slot_of(b, a).expect("symmetric");
-            // SAFETY: disjoint slots; canonical pass complete (barrier).
+            // SAFETY: the canonical (a, b) pair is the only writer of
+            // slot `s` and of its twin.
             unsafe {
-                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
-                ptr.write(s, val);
+                ptr.write(s, score);
+                ptr.write(new_graph.twin_slot(s), score);
             }
         }
     });

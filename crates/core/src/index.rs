@@ -172,11 +172,22 @@ impl ScanIndex {
         self.measure
     }
 
-    /// Estimated index memory footprint in bytes (the `O(m)` space claim).
+    /// Resident memory footprint in bytes, summed from the actual owned
+    /// array lengths (including the owned graph, which the index keeps
+    /// alive) so it tracks structural changes automatically — the
+    /// registry's byte-budgeted eviction depends on this staying honest.
+    /// Still `O(m)`, the paper's space claim.
     pub fn memory_bytes(&self) -> usize {
-        let slots = self.graph.num_slots();
-        // sims (f32) + NO (u32 + f32) + CO (u32 + f32) per slot.
-        slots * (4 + 8 + 8) + self.graph.num_vertices() * 8
+        use std::mem::{size_of, size_of_val};
+        let (no_nbr, no_sim) = self.no.parts();
+        let (mu_offsets, co_vertices, co_thresholds) = self.co.parts();
+        self.graph.memory_bytes()
+            + self.sims.len() * size_of::<f32>()
+            + size_of_val(no_nbr)
+            + size_of_val(no_sim)
+            + size_of_val(mu_offsets)
+            + size_of_val(co_vertices)
+            + size_of_val(co_thresholds)
     }
 
     /// Consume the index, returning the graph.
@@ -243,10 +254,13 @@ mod tests {
     #[test]
     fn memory_is_linear_in_m() {
         let g = generators::erdos_renyi(500, 4000, 1);
-        let m = g.num_edges();
+        let (n, m) = (g.num_vertices(), g.num_edges());
         let idx = ScanIndex::build(g, IndexConfig::default());
         let bytes = idx.memory_bytes();
-        assert!(bytes >= 2 * m * 20);
-        assert!(bytes <= 2 * m * 20 + 500 * 8 + 64);
+        // Per slot (2m of them): graph neighbors + twins (4 + 4), sims
+        // (4), NO (4 + 4), CO (4 + 4) = 28 bytes; plus the graph offsets
+        // ((n + 1) × 8) and the CO μ-offsets (≤ n × 8).
+        assert!(bytes >= 2 * m * 28 + (n + 1) * 8);
+        assert!(bytes <= 2 * m * 28 + (n + 1) * 8 + n * 8);
     }
 }

@@ -4,9 +4,20 @@
 //!
 //! - [`compute_merge_based`] — the paper's default (§6.1): direct each edge
 //!   at its higher-degree endpoint, enumerate every triangle once by
-//!   merging directed out-neighborhoods, and atomically accumulate each
+//!   intersecting directed out-neighborhoods, and accumulate each
 //!   triangle's contribution into its three edges. `O(m^{3/2})` worst-case
 //!   work but cache-friendly; this is the strategy the paper found fastest.
+//!   The triangle loop is *contention-free*: each worker accumulates into
+//!   a private per-edge buffer (plain `u32`/`f64` adds, no atomic
+//!   read-modify-writes), buffers are reduced at the end, and per-edge
+//!   work is scheduled by a cost model (`min` directed out-degree) via
+//!   [`parscan_parallel::weighted::par_for_weighted_range`] so hub edges
+//!   of skewed graphs don't pile into one fixed-grain chunk. Intersections
+//!   dispatch between merge, gallop, and an amortized bitset probe
+//!   ([`parscan_graph::intersect`]).
+//! - [`compute_merge_based_atomic`] — the pre-rework kernel (per-slot
+//!   `AtomicU64` accumulators + CAS loops), kept as the perf-regression
+//!   reference for `BENCH_index.json` and as an extra oracle.
 //! - [`compute_hash_based`] — Algorithm 1: a (phase-concurrent) hash table
 //!   of all directed edges; each edge intersects its smaller endpoint's
 //!   neighborhood against the table. `O(αm)` expected work.
@@ -18,10 +29,12 @@
 //! so the neighbor order can be built by permuting slots.
 
 use crate::similarity::SimilarityMeasure;
+use parscan_graph::intersect::{self, merge_common, NeighborhoodProbe};
 use parscan_graph::{CsrGraph, DegreeOrderedDag, VertexId};
 use parscan_parallel::hashtable::{ConcurrentMapU64, ConcurrentSetU64};
-use parscan_parallel::primitives::{par_for, par_map};
-use parscan_parallel::utils::SyncMutPtr;
+use parscan_parallel::primitives::{par_for, par_for_range, par_map};
+use parscan_parallel::utils::{ScratchPool, SyncMutPtr};
+use parscan_parallel::weighted::par_for_weighted_range;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-slot similarity scores aligned with a graph's CSR slots.
@@ -83,8 +96,194 @@ fn canonical_slot(g: &CsrGraph, u: VertexId, v: VertexId) -> usize {
     g.slot_of(lo, hi).expect("edge must exist")
 }
 
-/// The paper's merge-based triangle-counting strategy (§6.1).
+/// The paper's merge-based triangle-counting strategy (§6.1), with a
+/// contention-free, work-balanced triangle loop (see the module docs).
 pub fn compute_merge_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimilarities {
+    check_measure(g, measure);
+    let dag = DegreeOrderedDag::build(g);
+    let owners = dag.edge_owners();
+    let m = dag.num_edges();
+    let n = g.num_vertices();
+
+    // Canonical undirected slot for every directed DAG edge, by walking
+    // each vertex's CSR list and DAG out-list together (both are sorted by
+    // neighbor id) — no per-edge binary searches. The mirror side comes
+    // from the precomputed twin-slot permutation.
+    let mut can_slots: Vec<u32> = vec![0; m];
+    {
+        let ptr = SyncMutPtr::new(&mut can_slots);
+        par_for(n, 256, |u| {
+            let uv = u as VertexId;
+            let outs = dag.out_neighbors(uv);
+            let base = dag.out_range(uv).start;
+            let mut k = 0usize;
+            for s in g.slot_range(uv) {
+                if k == outs.len() {
+                    break;
+                }
+                let v = g.slot_neighbor(s);
+                if v == outs[k] {
+                    let cs = if uv < v { s } else { g.twin_slot(s) };
+                    // SAFETY: each DAG edge index is written exactly once.
+                    unsafe { ptr.write(base + k, cs as u32) };
+                    k += 1;
+                }
+            }
+            debug_assert_eq!(k, outs.len());
+        });
+    }
+
+    // Per-edge intersection cost (the smaller out-degree drives every
+    // kernel path) → equal-work chunk boundaries for the triangle loop.
+    let costs: Vec<usize> = par_map(m, 4096, |e| {
+        1 + dag
+            .out_degree(owners[e])
+            .min(dag.out_degree(dag.edge_target(e)))
+    });
+
+    // Accumulate per *DAG edge* (one entry per undirected edge — half the
+    // memory traffic of per-slot accumulators), then scatter to canonical
+    // slots for finalization.
+    // Triangle-loop contributions index by DAG edge (`< m` by
+    // construction), so the hot loop can skip bounds checks.
+    let mut per_slot = vec![0f64; g.num_slots()];
+    let ptr = SyncMutPtr::new(&mut per_slot);
+    if g.is_weighted() {
+        let ew: Vec<f32> = par_map(m, 4096, |e| g.slot_weight(can_slots[e] as usize));
+        let acc = triangle_accumulate::<f64>(&dag, &owners, &costs, |acc, e_uv, e_ux, e_vx| {
+            debug_assert!(e_uv < acc.len() && e_ux < acc.len() && e_vx < acc.len());
+            // SAFETY: DAG-edge indices are < m = acc.len() = ew.len().
+            unsafe {
+                let w_uv = *ew.get_unchecked(e_uv) as f64;
+                let w_ux = *ew.get_unchecked(e_ux) as f64;
+                let w_vx = *ew.get_unchecked(e_vx) as f64;
+                *acc.get_unchecked_mut(e_uv) += w_ux * w_vx;
+                *acc.get_unchecked_mut(e_ux) += w_uv * w_vx;
+                *acc.get_unchecked_mut(e_vx) += w_uv * w_ux;
+            }
+        });
+        // SAFETY: canonical slots are distinct across DAG edges.
+        par_for(m, 4096, |e| unsafe {
+            ptr.write(can_slots[e] as usize, acc[e]);
+        });
+    } else {
+        let acc = triangle_accumulate::<u32>(&dag, &owners, &costs, |acc, e_uv, e_ux, e_vx| {
+            debug_assert!(e_uv < acc.len() && e_ux < acc.len() && e_vx < acc.len());
+            // SAFETY: DAG-edge indices are < m = acc.len().
+            unsafe {
+                *acc.get_unchecked_mut(e_uv) += 1;
+                *acc.get_unchecked_mut(e_ux) += 1;
+                *acc.get_unchecked_mut(e_vx) += 1;
+            }
+        });
+        // SAFETY: canonical slots are distinct across DAG edges.
+        par_for(m, 4096, |e| unsafe {
+            ptr.write(can_slots[e] as usize, acc[e] as f64);
+        });
+    }
+    finalize(g, measure, |s| per_slot[s])
+}
+
+/// Run the triangle loop over cost-balanced flat-edge ranges, each worker
+/// accumulating into a private `m`-length buffer; buffers are reduced into
+/// one at the end (disjoint index chunks — still contention-free).
+///
+/// `contribute(acc, e_uv, e_ux, e_vx)` receives the DAG-edge indices of a
+/// triangle's three edges.
+fn triangle_accumulate<A>(
+    dag: &DegreeOrderedDag,
+    owners: &[VertexId],
+    costs: &[usize],
+    contribute: impl Fn(&mut [A], usize, usize, usize) + Sync,
+) -> Vec<A>
+where
+    A: Copy + Default + Send + Sync + std::ops::AddAssign,
+{
+    let m = dag.num_edges();
+    if m == 0 {
+        return Vec::new();
+    }
+    let n = dag.num_vertices();
+    // Worker-private (accumulator, probe) pairs: a thread claims one per
+    // chunk and returns it after, so at most `num_threads` buffers are
+    // ever live.
+    let scratch = ScratchPool::new(|| (vec![A::default(); m], NeighborhoodProbe::new(n)));
+    par_for_weighted_range(costs, |range| {
+        scratch.with(|(acc, probe)| {
+            // Flat DAG-edge indices are grouped by owner, so a range decomposes
+            // into runs sharing a source vertex `u`; a long out-list probed by
+            // several edges of its run is stamped into the bitset once.
+            let mut e = range.start;
+            while e < range.end {
+                let u = owners[e];
+                let ur = dag.out_range(u);
+                let run_end = ur.end.min(range.end);
+                let outs_u = dag.out_neighbors(u);
+                let base_u = ur.start;
+                if run_end - e >= 2 && outs_u.len() >= intersect::PROBE_MIN_DEGREE {
+                    probe.load(outs_u);
+                    for ee in e..run_end {
+                        let v = dag.edge_target(ee);
+                        let base_v = dag.out_range(v).start;
+                        let outs_v = dag.out_neighbors(v);
+                        // The probe scans all of `outs_v`; when that dwarfs the
+                        // loaded list, galloping `outs_u` into `outs_v` is
+                        // cheaper — the probe stays loaded for the rest of the
+                        // run either way.
+                        if outs_v.len() > outs_u.len() * intersect::GALLOP_RATIO {
+                            merge_common(outs_u, outs_v, |i, j| {
+                                contribute(acc, ee, base_u + i, base_v + j);
+                            });
+                        } else {
+                            probe.for_common(outs_v, |i, j| {
+                                contribute(acc, ee, base_u + i, base_v + j);
+                            });
+                        }
+                    }
+                    probe.unload(outs_u);
+                } else {
+                    for ee in e..run_end {
+                        let v = dag.edge_target(ee);
+                        let base_v = dag.out_range(v).start;
+                        merge_common(outs_u, dag.out_neighbors(v), |i, j| {
+                            contribute(acc, ee, base_u + i, base_v + j);
+                        });
+                    }
+                }
+                e = run_end;
+            }
+        });
+    });
+
+    let mut buffers: Vec<Vec<A>> = scratch
+        .into_values()
+        .into_iter()
+        .map(|(acc, _)| acc)
+        .collect();
+    let mut total = buffers.swap_remove(0);
+    if !buffers.is_empty() {
+        let ptr = SyncMutPtr::new(&mut total);
+        par_for_range(m, 1 << 13, |r| {
+            // SAFETY: index chunks are disjoint across workers.
+            let dst = unsafe { ptr.slice_mut(r.start, r.len()) };
+            for b in &buffers {
+                for (d, &s) in dst.iter_mut().zip(&b[r.clone()]) {
+                    *d += s;
+                }
+            }
+        });
+    }
+    total
+}
+
+/// The seed's original merge-based kernel: per-slot `AtomicU64`
+/// accumulators with `fetch_add`/CAS loops in the triangle loop,
+/// binary-searched canonical slots, and the original two-pass finalize
+/// (mirror pass re-finds each twin by binary search). Kept verbatim as
+/// the pre-rework reference that `BENCH_index.json` measures speedups
+/// against, and as an extra oracle in the strategy-agreement tests. Not
+/// reachable from [`crate::index::ExactStrategy`].
+pub fn compute_merge_based_atomic(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimilarities {
     check_measure(g, measure);
     let dag = DegreeOrderedDag::build(g);
     let owners = dag.edge_owners();
@@ -110,7 +309,7 @@ pub fn compute_merge_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimi
         let base_v = dag.out_range(v).start;
         let cs_uv = can_slots[e] as usize;
         let w_uv = g.slot_weight(cs_uv) as f64;
-        merge_common(outs_u, outs_v, |i, j| {
+        merge_common_seed(outs_u, outs_v, |i, j| {
             let cs_ux = can_slots[base_u + i] as usize;
             let cs_vx = can_slots[base_v + j] as usize;
             if weighted {
@@ -127,7 +326,7 @@ pub fn compute_merge_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimi
         });
     });
 
-    finalize(g, measure, |s| {
+    finalize_two_pass(g, measure, |s| {
         let raw = acc[s].load(Ordering::Relaxed);
         if weighted {
             f64::from_bits(raw)
@@ -135,6 +334,103 @@ pub fn compute_merge_based(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimi
             raw as f64
         }
     })
+}
+
+/// The seed's original merge/gallop intersection, preserved for
+/// [`compute_merge_based_atomic`] only so later tuning of the shared
+/// [`parscan_graph::intersect`] kernels cannot skew the pre-rework
+/// reference measurement.
+fn merge_common_seed<F>(a: &[VertexId], b: &[VertexId], mut f: F)
+where
+    F: FnMut(usize, usize),
+{
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    // Galloping path: probe each element of the much-smaller list.
+    if a.len() * 8 < b.len() {
+        for (i, &x) in a.iter().enumerate() {
+            if let Ok(j) = b.binary_search(&x) {
+                f(i, j);
+            }
+        }
+        return;
+    }
+    if b.len() * 8 < a.len() {
+        for (j, &x) in b.iter().enumerate() {
+            if let Ok(i) = a.binary_search(&x) {
+                f(i, j);
+            }
+        }
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                f(i, j);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// The seed's original finalize, preserved for
+/// [`compute_merge_based_atomic`] only: canonical pass, then a mirror
+/// pass that binary-searches every twin slot.
+fn finalize_two_pass<F>(g: &CsrGraph, measure: SimilarityMeasure, open_value: F) -> EdgeSimilarities
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let n = g.num_vertices();
+    let norms: Option<Vec<f64>> = g
+        .is_weighted()
+        .then(|| par_map(n, 1024, |v| g.closed_norm_sq(v as VertexId)));
+
+    let mut sims = vec![0f32; g.num_slots()];
+    let ptr = SyncMutPtr::new(&mut sims);
+    // Pass 1: canonical slots (u < v).
+    par_for(n, 64, |u| {
+        let u = u as VertexId;
+        for s in g.slot_range(u) {
+            let v = g.slot_neighbor(s);
+            if v <= u {
+                continue;
+            }
+            let value = open_value(s);
+            let score = match &norms {
+                Some(norms) => measure.score_weighted(
+                    value,
+                    g.slot_weight(s) as f64,
+                    norms[u as usize],
+                    norms[v as usize],
+                ),
+                None => measure.score_unweighted(value as u64, g.degree(u), g.degree(v)),
+            };
+            // SAFETY: slot `s` is written by exactly one (u, v) pair.
+            unsafe { ptr.write(s, score as f32) };
+        }
+    });
+    // Pass 2: mirror to the twin slots (v > u side already written).
+    par_for(n, 64, |u| {
+        let u = u as VertexId;
+        for s in g.slot_range(u) {
+            let v = g.slot_neighbor(s);
+            if v >= u {
+                continue;
+            }
+            let twin = g.slot_of(v, u).expect("symmetric edge");
+            // SAFETY: disjoint slots; pass 1 completed (pool barrier).
+            unsafe {
+                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
+                ptr.write(s, val);
+            }
+        }
+    });
+    EdgeSimilarities { per_slot: sims }
 }
 
 /// Algorithm 1: hash-table lookups of the smaller endpoint's neighbors.
@@ -213,44 +509,29 @@ pub fn compute_full_merge(g: &CsrGraph, measure: SimilarityMeasure) -> EdgeSimil
 
 /// Open-neighborhood intersection value of the edge stored in canonical
 /// slot `s`: common-neighbor count (unweighted) or weight-product sum.
+/// Uses the shared hybrid merge/gallop kernel, so skewed (hub–leaf) edges
+/// cost `O(min · log max)` rather than `O(d(u) + d(v))` — this is the
+/// per-edge primitive of the pSCAN/SCAN-XP baselines too.
 pub fn open_intersection_value(g: &CsrGraph, s: usize) -> f64 {
     let u = g.slot_owner(s);
     let v = g.slot_neighbor(s);
     let nu = g.neighbors(u);
     let nv = g.neighbors(v);
-    let mut acc = 0.0f64;
-    let (mut i, mut j) = (0usize, 0usize);
     if g.is_weighted() {
         let wu = g.weights_of(u).expect("weighted");
         let wv = g.weights_of(v).expect("weighted");
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += wu[i] as f64 * wv[j] as f64;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
+        let mut acc = 0.0f64;
+        merge_common(nu, nv, |i, j| acc += wu[i] as f64 * wv[j] as f64);
+        acc
     } else {
-        while i < nu.len() && j < nv.len() {
-            match nu[i].cmp(&nv[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    acc += 1.0;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
+        intersect::count_common(nu, nv) as f64
     }
-    acc
 }
 
-/// Score every canonical slot with `open_value(slot)` and mirror to twins.
+/// Score every canonical slot with `open_value(slot)` and write the
+/// canonical + mirror slots in one pass: the twin-slot permutation makes
+/// the mirror a plain store, so the old binary-searching second pass is
+/// gone.
 fn finalize<F>(g: &CsrGraph, measure: SimilarityMeasure, open_value: F) -> EdgeSimilarities
 where
     F: Fn(usize) -> f64 + Sync,
@@ -262,7 +543,6 @@ where
 
     let mut sims = vec![0f32; g.num_slots()];
     let ptr = SyncMutPtr::new(&mut sims);
-    // Pass 1: canonical slots (u < v).
     par_for(n, 64, |u| {
         let u = u as VertexId;
         for s in g.slot_range(u) {
@@ -280,68 +560,15 @@ where
                 ),
                 None => measure.score_unweighted(value as u64, g.degree(u), g.degree(v)),
             };
-            // SAFETY: slot `s` is written by exactly one (u, v) pair.
-            unsafe { ptr.write(s, score as f32) };
-        }
-    });
-    // Pass 2: mirror to the twin slots (v > u side already written).
-    par_for(n, 64, |u| {
-        let u = u as VertexId;
-        for s in g.slot_range(u) {
-            let v = g.slot_neighbor(s);
-            if v >= u {
-                continue;
-            }
-            let twin = g.slot_of(v, u).expect("symmetric edge");
-            // SAFETY: disjoint slots; pass 1 completed (pool barrier).
+            // SAFETY: slot `s` and its twin are written by exactly one
+            // (u, v) pair — the canonical one.
             unsafe {
-                let val = *ptr.slice_mut(twin, 1).get_unchecked(0);
-                ptr.write(s, val);
+                ptr.write(s, score as f32);
+                ptr.write(g.twin_slot(s), score as f32);
             }
         }
     });
     EdgeSimilarities { per_slot: sims }
-}
-
-/// Enumerate common elements of two ascending-sorted lists, calling
-/// `f(i, j)` with the positions of each match. Switches to binary probing
-/// when the lists are very different sizes (the GBBS merge heuristic).
-fn merge_common<F>(a: &[VertexId], b: &[VertexId], mut f: F)
-where
-    F: FnMut(usize, usize),
-{
-    if a.is_empty() || b.is_empty() {
-        return;
-    }
-    // Galloping path: probe each element of the much-smaller list.
-    if a.len() * 8 < b.len() {
-        for (i, &x) in a.iter().enumerate() {
-            if let Ok(j) = b.binary_search(&x) {
-                f(i, j);
-            }
-        }
-        return;
-    }
-    if b.len() * 8 < a.len() {
-        for (j, &x) in b.iter().enumerate() {
-            if let Ok(i) = a.binary_search(&x) {
-                f(i, j);
-            }
-        }
-        return;
-    }
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                f(i, j);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
 }
 
 fn check_measure(g: &CsrGraph, measure: SimilarityMeasure) {
@@ -426,6 +653,44 @@ mod tests {
         let full = compute_full_merge(&g, SimilarityMeasure::Cosine);
         assert_sims_close(&merge, &full, 1e-5);
         assert_sims_close(&hash, &full, 1e-5);
+    }
+
+    /// Skewed-graph oracle suite: the contention-free kernel and the
+    /// atomic reference kernel must both reproduce `compute_full_merge`
+    /// exactly on the degree distributions that stress the scheduler and
+    /// the bitset path (power-law hubs, a pure star, a dense clique).
+    #[test]
+    fn skewed_oracles_unweighted() {
+        let cases = [
+            generators::rmat(11, 12, 9),
+            generators::star(300),
+            // DAG out-degrees reach 159 ≥ PROBE_MIN_DEGREE: bitset path.
+            generators::complete(160),
+        ];
+        for g in &cases {
+            for measure in [SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard] {
+                let full = compute_full_merge(g, measure);
+                let merge = compute_merge_based(g, measure);
+                let atomic = compute_merge_based_atomic(g, measure);
+                assert_sims_close(&merge, &full, 0.0);
+                assert_sims_close(&atomic, &full, 0.0);
+            }
+        }
+    }
+
+    /// Weighted skewed oracle, including a dense block model whose DAG
+    /// out-degrees exceed the bitset threshold.
+    #[test]
+    fn skewed_oracles_weighted() {
+        let sparse = generators::weighted_planted_partition(300, 5, 12.0, 2.0, 11).0;
+        let dense = generators::weighted_planted_partition(400, 2, 150.0, 10.0, 13).0;
+        for g in [&sparse, &dense] {
+            let full = compute_full_merge(g, SimilarityMeasure::Cosine);
+            let merge = compute_merge_based(g, SimilarityMeasure::Cosine);
+            let atomic = compute_merge_based_atomic(g, SimilarityMeasure::Cosine);
+            assert_sims_close(&merge, &full, 1e-5);
+            assert_sims_close(&atomic, &full, 1e-5);
+        }
     }
 
     #[test]

@@ -22,6 +22,34 @@ pub struct CsrGraph {
     neighbors: Vec<VertexId>,
     /// Per-slot weights aligned with `neighbors` (`None` for unweighted).
     weights: Option<Vec<f32>>,
+    /// `twins[s]` is the slot of the mirrored edge: if slot `s` stores
+    /// `(u → v)`, `twins[s]` stores `(v → u)`. Built once at construction
+    /// so per-edge twin lookups are O(1) instead of a binary search.
+    twins: Vec<u32>,
+}
+
+/// Compute the twin-slot permutation for validated CSR parts.
+fn build_twins(offsets: &[usize], neighbors: &[VertexId]) -> Vec<u32> {
+    let slots = neighbors.len();
+    assert!(
+        slots <= u32::MAX as usize,
+        "slot count exceeds u32 index space"
+    );
+    let n = offsets.len() - 1;
+    let mut twins = vec![0u32; slots];
+    let ptr = parscan_parallel::utils::SyncMutPtr::new(&mut twins);
+    par_for(n, 256, |u| {
+        for s in offsets[u]..offsets[u + 1] {
+            let v = neighbors[s] as usize;
+            let vlist = &neighbors[offsets[v]..offsets[v + 1]];
+            let i = vlist
+                .binary_search(&(u as VertexId))
+                .expect("validated graphs are symmetric");
+            // SAFETY: each slot `s` is written by exactly one vertex `u`.
+            unsafe { ptr.write(s, (offsets[v] + i) as u32) };
+        }
+    });
+    twins
 }
 
 impl CsrGraph {
@@ -49,12 +77,14 @@ impl CsrGraph {
         neighbors: Vec<VertexId>,
         weights: Option<Vec<f32>>,
     ) -> Result<Self, String> {
-        let g = CsrGraph {
+        let mut g = CsrGraph {
             offsets,
             neighbors,
             weights,
+            twins: Vec::new(),
         };
         g.validate()?;
+        g.twins = build_twins(&g.offsets, &g.neighbors);
         Ok(g)
     }
 
@@ -65,12 +95,14 @@ impl CsrGraph {
         neighbors: Vec<VertexId>,
         weights: Option<Vec<f32>>,
     ) -> Self {
-        let g = CsrGraph {
+        let mut g = CsrGraph {
             offsets,
             neighbors,
             weights,
+            twins: Vec::new(),
         };
         debug_assert_eq!(g.validate(), Ok(()));
+        g.twins = build_twins(&g.offsets, &g.neighbors);
         g
     }
 
@@ -142,6 +174,15 @@ impl CsrGraph {
         let range = self.slot_range(u);
         let list = &self.neighbors[range.clone()];
         list.binary_search(&v).ok().map(|i| range.start + i)
+    }
+
+    /// Slot of the mirrored edge: if `slot` stores `(u → v)`, the returned
+    /// slot stores `(v → u)`. O(1) — precomputed at construction; the
+    /// similarity kernels use it to write canonical + mirror scores in one
+    /// pass instead of binary-searching `slot_of(v, u)` per edge.
+    #[inline]
+    pub fn twin_slot(&self, slot: usize) -> usize {
+        self.twins[slot] as usize
     }
 
     /// The endpoint vertex that owns `slot` (i.e. `u` such that `slot` is
@@ -267,12 +308,23 @@ impl CsrGraph {
             offsets: self.offsets.clone(),
             neighbors: self.neighbors.clone(),
             weights: None,
+            twins: self.twins.clone(),
         }
     }
 
     /// Raw parts accessor (offsets, neighbors, weights).
     pub fn parts(&self) -> (&[usize], &[VertexId], Option<&[f32]>) {
         (&self.offsets, &self.neighbors, self.weights.as_deref())
+    }
+
+    /// Bytes held by this graph's owned arrays (offsets, neighbors, the
+    /// twin-slot permutation, and weights when present).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of_val;
+        size_of_val(&self.offsets[..])
+            + size_of_val(&self.neighbors[..])
+            + size_of_val(&self.twins[..])
+            + self.weights.as_deref().map_or(0, size_of_val)
     }
 }
 
@@ -313,6 +365,18 @@ mod tests {
         assert_eq!(g.slot_owner(0), 0);
         assert_eq!(g.slot_owner(3), 1);
         assert_eq!(g.slot_owner(5), 2);
+    }
+
+    #[test]
+    fn twin_slots_are_involution() {
+        let g = triangle();
+        for s in 0..g.num_slots() {
+            let t = g.twin_slot(s);
+            assert_eq!(g.twin_slot(t), s);
+            assert_eq!(g.slot_neighbor(t), g.slot_owner(s));
+            assert_eq!(g.slot_owner(t), g.slot_neighbor(s));
+            assert_eq!(g.slot_of(g.slot_neighbor(s), g.slot_owner(s)), Some(t));
+        }
     }
 
     #[test]

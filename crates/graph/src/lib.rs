@@ -11,6 +11,7 @@ pub mod builder;
 pub mod csr;
 pub mod directed;
 pub mod generators;
+pub mod intersect;
 pub mod io;
 pub mod metis;
 pub mod patch;

@@ -8,6 +8,7 @@
 //!
 //! - a persistent [`pool`] of worker threads executing flat fork-join loops,
 //! - [`primitives`]: parallel for, map, and reduce,
+//! - [`weighted`]: work-balanced loops (prefix-sum cost scheduling),
 //! - [`prefix`]: parallel (exclusive) scan,
 //! - [`filter`](mod@filter): parallel filter/pack,
 //! - [`sort`]: parallel comparison sort (chunk sort + co-rank parallel merge),
@@ -36,6 +37,7 @@ pub mod radix;
 pub mod sort;
 pub mod union_find;
 pub mod utils;
+pub mod weighted;
 
 pub use connectivity::connected_components;
 pub use dedup::remove_duplicates_u64;
@@ -49,3 +51,4 @@ pub use quicksort::{par_quicksort, par_quicksort_by};
 pub use radix::{par_radix_sort_by_key, par_radix_sort_pairs};
 pub use sort::{par_sort_by, par_sort_unstable_by};
 pub use union_find::ConcurrentUnionFind;
+pub use weighted::{par_for_weighted, par_for_weighted_range, weighted_chunk_ranges};

@@ -1,5 +1,49 @@
 //! Small shared helpers: pointer wrappers for disjoint parallel writes,
-//! hashing, and integer math.
+//! worker-scratch pooling, hashing, and integer math.
+
+use parking_lot::Mutex;
+
+/// A free list of worker-private scratch values for flat parallel loops.
+///
+/// A chunk body claims a value with [`Self::with`] (created on first use),
+/// works on it, and returns it, so at most one value per concurrently
+/// running thread is ever allocated — the idiom the similarity kernel and
+/// the triangle counter use for their accumulators and bitset probes.
+///
+/// If the body panics the claimed value is dropped rather than returned;
+/// the pool itself stays usable.
+pub struct ScratchPool<T, F: Fn() -> T> {
+    make: F,
+    free: Mutex<Vec<T>>,
+}
+
+impl<T, F: Fn() -> T> ScratchPool<T, F> {
+    /// A pool whose values are created on demand by `make`.
+    pub fn new(make: F) -> Self {
+        ScratchPool {
+            make,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Claim a scratch value, run `f` on it, and return it to the pool.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // Drop the lock before running `make`: first-time values can be
+        // large allocations (per-worker accumulators), and holding the
+        // free-list lock through them would serialize worker startup.
+        let pooled = self.free.lock().pop();
+        let mut value = pooled.unwrap_or_else(&self.make);
+        let result = f(&mut value);
+        self.free.lock().push(value);
+        result
+    }
+
+    /// Consume the pool, yielding every value created over its lifetime
+    /// (used to reduce per-worker accumulators after a parallel loop).
+    pub fn into_values(self) -> Vec<T> {
+        self.free.into_inner()
+    }
+}
 
 /// A raw pointer that asserts cross-thread usability.
 ///
@@ -80,6 +124,24 @@ pub fn next_pow2(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scratch_pool_reuses_and_drains() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let created = AtomicUsize::new(0);
+        let pool = ScratchPool::new(|| {
+            created.fetch_add(1, Ordering::Relaxed);
+            Vec::<u32>::new()
+        });
+        // Sequential claims reuse one value.
+        for i in 0..10u32 {
+            pool.with(|v| v.push(i));
+        }
+        assert_eq!(created.load(Ordering::Relaxed), 1);
+        let values = pool.into_values();
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[0].len(), 10);
+    }
 
     #[test]
     fn hash64_mixes() {

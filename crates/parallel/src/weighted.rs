@@ -1,0 +1,159 @@
+//! Work-balanced parallel loops: chunk boundaries placed by a prefix sum
+//! over per-item cost estimates instead of by item count.
+//!
+//! The fixed-grain loops in [`crate::primitives`] assume per-item work is
+//! roughly uniform; on power-law inputs (per-edge triangle work on an
+//! R-MAT graph, say) a fixed grain leaves whole hub neighborhoods in one
+//! chunk while other chunks finish instantly. `par_for_weighted` instead
+//! scans the cost vector and cuts `0..n` into ranges of approximately
+//! equal *total cost*, which the pool's dynamic chunk claiming then
+//! balances as usual.
+
+use crate::pool::{chunk_ranges, global, num_threads};
+use crate::prefix::exclusive_scan_usize;
+use std::ops::Range;
+
+/// Split `0..costs.len()` into at most `max_chunks` contiguous ranges of
+/// approximately equal total cost (equal item counts when every cost is
+/// zero). Empty ranges are dropped, so a single giant item simply becomes
+/// its own chunk; the returned ranges always tile `0..costs.len()`.
+pub fn weighted_chunk_ranges(costs: &[usize], max_chunks: usize) -> Vec<Range<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_chunks = max_chunks.max(1);
+    let (prefix, total) = exclusive_scan_usize(costs);
+    if total == 0 {
+        return chunk_ranges(n, n.div_ceil(max_chunks));
+    }
+    let n_chunks = max_chunks.min(n);
+    let mut out = Vec::with_capacity(n_chunks);
+    let mut start = 0usize;
+    for k in 1..=n_chunks {
+        // Cumulative-cost target of the k-th boundary (u128 to dodge
+        // overflow of total * k).
+        let target = ((total as u128 * k as u128) / n_chunks as u128) as usize;
+        // First index whose items-before-it cost ≥ target; the tail chunk
+        // always closes at n.
+        let end = if k == n_chunks {
+            n
+        } else {
+            prefix.partition_point(|&p| p < target)
+        };
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Run `f` over every range of a cost-balanced tiling of `0..costs.len()`
+/// in parallel. `costs[i]` is an estimate of item `i`'s work; boundaries
+/// are placed so each range carries roughly equal total cost.
+pub fn par_for_weighted_range<F>(costs: &[usize], f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if costs.is_empty() {
+        return;
+    }
+    // Several chunks per thread so dynamic claiming can still rebalance
+    // mis-estimated costs.
+    let ranges = weighted_chunk_ranges(costs, 8 * num_threads());
+    global().run(ranges.len(), |c| f(ranges[c].clone()));
+}
+
+/// Run `f(i)` for every `i` in `0..costs.len()` in parallel, scheduling by
+/// per-item cost estimates (the work-balanced sibling of
+/// [`crate::primitives::par_for`]).
+pub fn par_for_weighted<F>(costs: &[usize], f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_for_weighted_range(costs, |r| {
+        for i in r {
+            f(i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn assert_tiles(ranges: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges must tile contiguously");
+            assert!(r.end > r.start, "ranges must be non-empty");
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..n");
+    }
+
+    #[test]
+    fn all_zero_costs_fall_back_to_even_split() {
+        let costs = vec![0usize; 100];
+        let ranges = weighted_chunk_ranges(&costs, 4);
+        assert_tiles(&ranges, 100);
+        assert!(ranges.len() <= 4);
+        // Even item counts (within one).
+        assert!(ranges.iter().all(|r| r.len() >= 25 && r.len() <= 26));
+    }
+
+    #[test]
+    fn single_giant_item_gets_isolated() {
+        let mut costs = vec![1usize; 100];
+        costs[37] = 1_000_000;
+        let ranges = weighted_chunk_ranges(&costs, 8);
+        assert_tiles(&ranges, 100);
+        // The chunk holding the giant item should hold (almost) nothing
+        // else after it: the next boundary lands right behind the spike.
+        let holder = ranges.iter().find(|r| r.contains(&37)).unwrap();
+        assert_eq!(holder.end, 38, "boundary must cut right after the spike");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(weighted_chunk_ranges(&[], 4).is_empty());
+        assert_eq!(weighted_chunk_ranges(&[7], 4), vec![0..1]);
+        assert_eq!(weighted_chunk_ranges(&[0], 4), vec![0..1]);
+        // max_chunks = 0 is clamped to 1.
+        assert_eq!(weighted_chunk_ranges(&[1, 2, 3], 0), vec![0..3]);
+    }
+
+    #[test]
+    fn chunk_work_is_balanced() {
+        // Skewed costs: chunk totals must stay within ideal + max item.
+        let costs: Vec<usize> = (0..10_000).map(|i| ((i * 2654435761) % 97) + 1).collect();
+        let total: usize = costs.iter().sum();
+        let max_cost = *costs.iter().max().unwrap();
+        for n_chunks in [2usize, 7, 64] {
+            let ranges = weighted_chunk_ranges(&costs, n_chunks);
+            assert_tiles(&ranges, costs.len());
+            assert!(ranges.len() <= n_chunks);
+            let ideal = total / n_chunks;
+            for r in &ranges {
+                let work: usize = costs[r.clone()].iter().sum();
+                assert!(
+                    work <= ideal + max_cost,
+                    "chunk {r:?} carries {work} > {ideal} + {max_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_weighted_visits_all_once() {
+        let costs: Vec<usize> = (0..2311).map(|i| i % 13).collect();
+        let hits: Vec<AtomicU64> = (0..costs.len()).map(|_| AtomicU64::new(0)).collect();
+        par_for_weighted(&costs, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}
