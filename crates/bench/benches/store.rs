@@ -1,0 +1,209 @@
+//! Durable-store benchmark: snapshot save/load throughput and the
+//! restart economics the store exists for — warm-booting a server's
+//! working set from snapshots vs. rebuilding every index from its graph.
+//!
+//! The paper's index costs O((α + log n)m) work to build; a snapshot
+//! costs one sequential read to restore. This bench quantifies that gap
+//! on the same three structural regimes as the construction bench
+//! (uniform ER, skewed R-MAT, weighted SBM) so the committed numbers
+//! stay comparable across PRs.
+//!
+//! Run with `cargo bench -p parscan-bench --bench store`. Scale inputs
+//! with `PARSCAN_SCALE` (default 1.0), trials with `PARSCAN_TRIALS`.
+//! Emits a table on stdout plus a JSON summary written to the workspace
+//! root as `BENCH_store.json` (override with `PARSCAN_BENCH_OUT`).
+
+use parscan_bench::timing::{fmt_time, median_time, trials};
+use parscan_core::{IndexConfig, ScanIndex};
+use parscan_graph::{generators, CsrGraph};
+use parscan_server::{warm_boot, EngineConfig, GraphRegistry, QueryEngine, RegistryConfig};
+use parscan_store::IndexStore;
+use std::path::PathBuf;
+
+struct Scenario {
+    name: &'static str,
+    regime: &'static str,
+    graph: CsrGraph,
+}
+
+fn scale() -> f64 {
+    std::env::var("PARSCAN_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn scenarios() -> Vec<Scenario> {
+    // Denser than the construction bench on purpose: build cost grows
+    // with α·m (per-edge similarity work touches both endpoints'
+    // neighborhoods) while snapshot size grows with m alone, so dense
+    // graphs are where the store pays off — and where restart-heavy
+    // deployments hurt the most without it.
+    // The mix mirrors the paper's evaluation diet: power-law graphs
+    // carry the bulk of the edge mass (hub merges make construction
+    // α-heavy), dense weighted blocks stress the weighted kernels, and a
+    // uniform ER control keeps the suite honest about the regime where
+    // construction is cheapest relative to snapshot size.
+    let s = scale();
+    let rmat_scale = (16.0 + s.log2()).round().clamp(8.0, 24.0) as u32;
+    let er_n = ((4_000.0 * s) as usize).max(64);
+    let wpp_n = ((8_000.0 * s) as usize).max(64);
+    vec![
+        Scenario {
+            name: "er",
+            regime: "uniform (Erdős–Rényi)",
+            graph: generators::erdos_renyi(er_n, er_n * 96, 0x5107e),
+        },
+        Scenario {
+            name: "rmat",
+            regime: "skewed power-law (R-MAT)",
+            graph: generators::rmat(rmat_scale, 64, 0x5107e),
+        },
+        Scenario {
+            name: "weighted",
+            regime: "weighted dense blocks (SBM)",
+            graph: generators::weighted_planted_partition(wpp_n, 6, 400.0, 8.0, 0x5107e).0,
+        },
+    ]
+}
+
+fn out_path() -> String {
+    if let Ok(path) = std::env::var("PARSCAN_BENCH_OUT") {
+        return path;
+    }
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => format!("{dir}/../../BENCH_store.json"),
+        Err(_) => "BENCH_store.json".into(),
+    }
+}
+
+fn main() {
+    let store_dir: PathBuf =
+        std::env::temp_dir().join(format!("parscan-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = IndexStore::open(&store_dir).expect("open store");
+
+    println!(
+        "store bench: scale={} trials={} threads={}",
+        scale(),
+        trials(),
+        parscan_parallel::num_threads()
+    );
+
+    let scenarios = scenarios();
+    let mut rows = Vec::new();
+    let mut indexes = Vec::new();
+    let mut rebuild_total = 0.0;
+    for sc in &scenarios {
+        let g = &sc.graph;
+        let (n, m) = (g.num_vertices(), g.num_edges());
+
+        // Rebuild cost: what a cold restart pays per graph without the
+        // store — index construction plus engine install (breakpoint
+        // extraction), the same steps warm boot's admission performs
+        // after its snapshot load.
+        let build_secs = median_time(|| {
+            let index = ScanIndex::build(g.clone(), IndexConfig::default());
+            std::hint::black_box(QueryEngine::new(
+                std::sync::Arc::new(index),
+                EngineConfig::default(),
+            ));
+        });
+        rebuild_total += build_secs;
+        let index = ScanIndex::build(g.clone(), IndexConfig::default());
+
+        // Save throughput: crash-safe snapshot write (temp + fsync +
+        // rename), so this includes the durability tax, not just I/O.
+        let save_secs = median_time(|| {
+            std::hint::black_box(store.save(sc.name, &index, false, 256).expect("save"));
+        });
+        let entry = store.entry(sc.name).expect("saved entry");
+        let mib = entry.bytes as f64 / (1024.0 * 1024.0);
+        let save_mibs = mib / save_secs;
+
+        // Load throughput: one sequential checksum-verified read.
+        let load_secs = median_time(|| {
+            std::hint::black_box(store.load(sc.name).expect("load"));
+        });
+        let load_mibs = mib / load_secs;
+
+        println!(
+            "{:>9}  n={:>7} m={:>8}  snapshot {:>7.1} MiB  rebuild {:>9}  \
+             save {:>9} ({:>7.1} MiB/s)  load {:>9} ({:>7.1} MiB/s)  load-vs-rebuild {:.1}x",
+            sc.name,
+            n,
+            m,
+            mib,
+            fmt_time(build_secs),
+            fmt_time(save_secs),
+            save_mibs,
+            fmt_time(load_secs),
+            load_mibs,
+            build_secs / load_secs
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"name\":\"{}\",\"regime\":\"{}\",\"n\":{},\"m\":{},",
+                "\"snapshot_bytes\":{},\"rebuild_secs\":{:.6},",
+                "\"save_secs\":{:.6},\"save_mib_per_sec\":{:.1},",
+                "\"load_secs\":{:.6},\"load_mib_per_sec\":{:.1},",
+                "\"load_vs_rebuild_speedup\":{:.2}}}"
+            ),
+            sc.name,
+            sc.regime,
+            n,
+            m,
+            entry.bytes,
+            build_secs,
+            save_secs,
+            save_mibs,
+            load_secs,
+            load_mibs,
+            build_secs / load_secs
+        ));
+        indexes.push(index);
+    }
+    drop(indexes);
+
+    // --- Warm boot vs. rebuild: the whole working set at once ---------
+    // A fresh registry each trial, exactly what `parscan serve
+    // --store-dir` does at startup: manifest read, parallel snapshot
+    // loads, budget-respecting admission.
+    let warm_secs = median_time(|| {
+        let registry = GraphRegistry::new("default", RegistryConfig::default());
+        let report = warm_boot(&registry, &store);
+        assert_eq!(report.loaded.len(), scenarios.len(), "{:?}", report.skipped);
+        std::hint::black_box(report);
+    });
+    // The rebuild path builds sequentially: each `ScanIndex::build` is
+    // internally parallel, so stacking them adds no extra parallelism.
+    let speedup = rebuild_total / warm_secs;
+    println!(
+        "warm boot {:>9} ({} graphs)   rebuild {:>9}   speedup {:.1}x",
+        fmt_time(warm_secs),
+        scenarios.len(),
+        fmt_time(rebuild_total),
+        speedup
+    );
+    if speedup < 10.0 {
+        eprintln!("warning: warm-boot speedup {speedup:.1}x is below the 10x target");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"store\",\n  \"scale\": {},\n  \"trials\": {},\n  \
+         \"threads\": {},\n  \"warm_boot_secs\": {:.6},\n  \"rebuild_secs\": {:.6},\n  \
+         \"warm_boot_speedup\": {:.2},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scale(),
+        trials(),
+        parscan_parallel::num_threads(),
+        warm_secs,
+        rebuild_total,
+        speedup,
+        rows.join(",\n")
+    );
+    let path = out_path();
+    std::fs::write(&path, json).expect("write benchmark summary");
+    println!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

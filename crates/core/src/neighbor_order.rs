@@ -146,6 +146,18 @@ impl NeighborOrder {
 
     /// Validate ordering invariants (used by tests and debug assertions).
     pub fn validate(&self, g: &CsrGraph) -> Result<(), String> {
+        if self.nbr.len() != g.num_slots() || self.sim.len() != g.num_slots() {
+            return Err(format!(
+                "NO has {} entries for a graph with {} slots",
+                self.nbr.len(),
+                g.num_slots()
+            ));
+        }
+        // Permutation checks run in O(deg v) per vertex via epoch
+        // stamping (no per-vertex sort or allocation): stamp 2v marks
+        // members of N(v), and consuming an NO entry bumps its mark to
+        // 2v+1, so a repeated or foreign entry never sees stamp 2v.
+        let mut mark = vec![u64::MAX; g.num_vertices()];
         for v in 0..g.num_vertices() as VertexId {
             let sims = self.similarities(g, v);
             let nbrs = self.neighbors(g, v);
@@ -157,11 +169,18 @@ impl NeighborOrder {
                     return Err(format!("NO[{v}] tie not id-ordered at {k}"));
                 }
             }
-            // Same multiset of neighbors as the graph.
-            let mut a: Vec<VertexId> = nbrs.to_vec();
-            a.sort_unstable();
-            if a != g.neighbors(v) {
-                return Err(format!("NO[{v}] is not a permutation of N({v})"));
+            // Same set of neighbors as the (strictly sorted, hence
+            // duplicate-free) graph list; equal lengths make set
+            // equality permutation equality.
+            let stamp = 2 * v as u64;
+            for &x in g.neighbors(v) {
+                mark[x as usize] = stamp;
+            }
+            for &x in nbrs {
+                if mark.get(x as usize).copied() != Some(stamp) {
+                    return Err(format!("NO[{v}] is not a permutation of N({v})"));
+                }
+                mark[x as usize] = stamp + 1;
             }
         }
         Ok(())

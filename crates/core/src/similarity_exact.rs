@@ -41,13 +41,51 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Clone, Debug)]
 pub struct EdgeSimilarities {
     per_slot: Vec<f32>,
+    /// Sorted distinct similarity values — the ε-breakpoints that
+    /// quantize queries in the serving layer. Computed lazily on first
+    /// use (instances are immutable after construction; updates build
+    /// fresh instances), or restored directly from an index snapshot so
+    /// a warm boot never re-sorts.
+    breakpoints: std::sync::OnceLock<Vec<f32>>,
 }
 
 impl EdgeSimilarities {
     /// Wrap a raw per-slot score array (used by the LSH approximation to
     /// inject estimated scores into the exact index machinery).
     pub fn from_per_slot(per_slot: Vec<f32>) -> Self {
-        EdgeSimilarities { per_slot }
+        EdgeSimilarities {
+            per_slot,
+            breakpoints: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Wrap a per-slot array together with its precomputed breakpoints
+    /// (the index-snapshot restore path). The caller asserts `breakpoints`
+    /// is exactly the sorted distinct values of `per_slot`.
+    pub fn from_per_slot_with_breakpoints(per_slot: Vec<f32>, breakpoints: Vec<f32>) -> Self {
+        let cell = std::sync::OnceLock::new();
+        let _ = cell.set(breakpoints);
+        EdgeSimilarities {
+            per_slot,
+            breakpoints: cell,
+        }
+    }
+
+    /// Sorted distinct similarity values. Every ε between two adjacent
+    /// breakpoints selects the same ε-similar edge set, hence the same
+    /// clustering — the serving layer keys its result cache on the
+    /// breakpoint class. Computed once per instance: similarities are
+    /// non-negative, so they sort identically to their IEEE-754 bit
+    /// patterns (the paper's §2.3.2 integer-key trick) and a radix sort
+    /// over `u32` keys replaces a comparison sort over floats.
+    pub fn breakpoints(&self) -> &[f32] {
+        self.breakpoints.get_or_init(|| {
+            let mut bits: Vec<u32> =
+                par_map(self.per_slot.len(), 8192, |s| self.per_slot[s].to_bits());
+            parscan_parallel::radix::par_radix_sort_by_key(&mut bits, |&b| b as u64, None);
+            bits.dedup();
+            bits.into_iter().map(f32::from_bits).collect()
+        })
     }
 
     #[inline]
@@ -430,7 +468,7 @@ where
             }
         }
     });
-    EdgeSimilarities { per_slot: sims }
+    EdgeSimilarities::from_per_slot(sims)
 }
 
 /// Algorithm 1: hash-table lookups of the smaller endpoint's neighbors.
@@ -568,7 +606,7 @@ where
             }
         }
     });
-    EdgeSimilarities { per_slot: sims }
+    EdgeSimilarities::from_per_slot(sims)
 }
 
 fn check_measure(g: &CsrGraph, measure: SimilarityMeasure) {

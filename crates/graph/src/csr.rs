@@ -28,6 +28,82 @@ pub struct CsrGraph {
     twins: Vec<u32>,
 }
 
+/// Validate raw CSR parts and build the twin-slot permutation in one
+/// `O(n + m)` sequential sweep — the deserialization fast path.
+///
+/// Scanning slots with the owner `u` ascending visits each target `v`'s
+/// mirrored slots in ascending-`u` order too; because neighbor lists are
+/// strictly sorted (checked first), a per-vertex cursor into `v`'s list
+/// must land exactly on `u` at every step iff the graph is symmetric.
+/// Each slot advances one cursor once, so the induced map slot → twin is
+/// total and injective, hence a bijection: no binary searches, and the
+/// symmetry check and twin construction are the same pass.
+fn validate_parts_and_build_twins(
+    offsets: &[usize],
+    neighbors: &[VertexId],
+    weights: Option<&[f32]>,
+) -> Result<Vec<u32>, String> {
+    if offsets.is_empty() {
+        return Err("offsets must have length n + 1 >= 1".into());
+    }
+    if offsets[0] != 0 || *offsets.last().unwrap() != neighbors.len() {
+        return Err("offsets must start at 0 and end at slot count".into());
+    }
+    if let Some(w) = weights {
+        if w.len() != neighbors.len() {
+            return Err("weights length must match neighbors".into());
+        }
+    }
+    if !neighbors.len().is_multiple_of(2) {
+        return Err("odd number of slots".into());
+    }
+    let slots = neighbors.len();
+    if slots > u32::MAX as usize {
+        return Err("slot count exceeds u32 index space".into());
+    }
+    let n = offsets.len() - 1;
+    // Pass 1: monotone offsets; per-list strictly-sorted, in-range,
+    // self-loop-free neighbors.
+    for v in 0..n {
+        let (start, end) = (offsets[v], offsets[v + 1]);
+        if start > end || end > slots {
+            return Err(format!("offsets not monotone at vertex {v}"));
+        }
+        let list = &neighbors[start..end];
+        for (i, &x) in list.iter().enumerate() {
+            if x as usize >= n {
+                return Err(format!("neighbor {x} of {v} out of range"));
+            }
+            if x as usize == v {
+                return Err(format!("self-loop at vertex {v}"));
+            }
+            if i > 0 && list[i - 1] >= x {
+                return Err(format!("neighbors of {v} not strictly sorted"));
+            }
+        }
+    }
+    // Pass 2: fused symmetry check + twin construction (see above).
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    let mut twins = vec![0u32; slots];
+    for u in 0..n {
+        for s in offsets[u]..offsets[u + 1] {
+            let v = neighbors[s] as usize;
+            let t = cursor[v];
+            if t >= offsets[v + 1] || neighbors[t] as usize != u {
+                return Err(format!("edge ({v},{u}) missing twin"));
+            }
+            if let Some(w) = weights {
+                if (w[s] - w[t]).abs() > 1e-6 {
+                    return Err(format!("asymmetric weight on ({u},{v})"));
+                }
+            }
+            twins[s] = t as u32;
+            cursor[v] = t + 1;
+        }
+    }
+    Ok(twins)
+}
+
 /// Compute the twin-slot permutation for validated CSR parts.
 fn build_twins(offsets: &[usize], neighbors: &[VertexId]) -> Vec<u32> {
     let slots = neighbors.len();
@@ -77,15 +153,13 @@ impl CsrGraph {
         neighbors: Vec<VertexId>,
         weights: Option<Vec<f32>>,
     ) -> Result<Self, String> {
-        let mut g = CsrGraph {
+        let twins = validate_parts_and_build_twins(&offsets, &neighbors, weights.as_deref())?;
+        Ok(CsrGraph {
             offsets,
             neighbors,
             weights,
-            twins: Vec::new(),
-        };
-        g.validate()?;
-        g.twins = build_twins(&g.offsets, &g.neighbors);
-        Ok(g)
+            twins,
+        })
     }
 
     /// Assemble without validation — for internal builders whose output is

@@ -199,13 +199,17 @@ impl<'r> BatchExecutor<'r> {
                 Request::List => Response::List {
                     default: self.registry.default_name().to_string(),
                     graphs: self.registry.list(),
+                    // Batches run without store context; top-level LIST
+                    // carries the persisted set.
+                    persisted: None,
                 },
                 Request::Ping => Response::Pong,
                 Request::Batch(_)
                 | Request::Quit
                 | Request::Shutdown
                 | Request::Load { .. }
-                | Request::Unload { .. } => Response::Error {
+                | Request::Unload { .. }
+                | Request::Save { .. } => Response::Error {
                     message: "command not allowed inside a batch".into(),
                 },
             })

@@ -219,12 +219,10 @@ impl std::fmt::Debug for QueryEngine {
 
 impl QueryEngine {
     pub fn new(index: Arc<ScanIndex>, config: EngineConfig) -> Self {
-        let mut breakpoints: Vec<f32> = index.similarities().as_slice().to_vec();
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("similarities are finite"));
-        breakpoints.dedup();
-        // The pre-dedup buffer held one f32 per slot (2m); release the
-        // unused capacity — the engine keeps this vec for its lifetime.
-        breakpoints.shrink_to_fit();
+        // Freshly built indexes compute these with a radix sort; indexes
+        // loaded from a v2 snapshot carry them as a persisted section, so
+        // installing a warm-booted graph is sort-free.
+        let breakpoints = index.similarities().breakpoints().to_vec();
         QueryEngine {
             index,
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),

@@ -60,6 +60,7 @@
 //! layout in `docs/ARCHITECTURE.md`.
 
 pub mod batch;
+pub mod boot;
 pub mod cache;
 pub mod engine;
 pub mod protocol;
@@ -67,14 +68,15 @@ pub mod registry;
 pub mod server;
 
 pub use batch::BatchExecutor;
+pub use boot::{warm_boot, WarmBootReport};
 pub use cache::ShardedLru;
 pub use engine::{ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest};
-pub use protocol::{parse_request, Request, Response, StatsGraph};
+pub use protocol::{parse_request, Request, Response, StatsGraph, StoreStats};
 pub use registry::{
     validate_graph_name, GraphInfo, GraphRegistry, LoadOutcome, RegistryConfig, RegistryError,
     RegistryStats,
 };
-pub use server::{serve, serve_engine, ServerHandle};
+pub use server::{serve, serve_engine, serve_with_store, ServerHandle};
 
 /// Lock a mutex, recovering from poisoning — a panicked holder must not
 /// wedge the serving layer (shared by the engine's in-flight table and

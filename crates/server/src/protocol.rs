@@ -8,8 +8,9 @@
 //! ```text
 //! PING
 //! LIST
-//! LOAD <name> <path>
+//! LOAD <name> [CACHE=<n>] <path>
 //! UNLOAD <name>
+//! SAVE [<name>]
 //! [@<graph>] STATS
 //! [@<graph>] CLUSTER <mu> <eps> [FULL]
 //! [@<graph>] PROBE <vertex> <mu> <eps>
@@ -22,8 +23,12 @@
 //! A leading `@<graph>` token addresses a named graph in the server's
 //! [`GraphRegistry`](crate::registry::GraphRegistry); without it, a
 //! query runs against the default (boot) graph — PR 1 clients keep
-//! working unchanged. `LOAD`/`UNLOAD`/`LIST` manage the registry and
-//! never appear inside a `BATCH` (batches are read-only).
+//! working unchanged. `LOAD`/`UNLOAD`/`SAVE`/`LIST` manage the registry
+//! and never appear inside a `BATCH` (batches are read-only). `SAVE`
+//! snapshots a resident graph into the server's durable store (it
+//! errors on servers started without `--store-dir`); `LOAD`'s optional
+//! `CACHE=<n>` sets that graph's result-cache capacity, which the store
+//! persists and warm boots restore.
 //!
 //! Every response is a single JSON object terminated by `\n`, always
 //! carrying `"ok"` and `"op"`. `CLUSTER … FULL` includes the complete
@@ -55,10 +60,17 @@ pub enum Request {
     Load {
         name: String,
         path: String,
+        /// Per-graph result-cache capacity override (`CACHE=<n>`).
+        cache: Option<usize>,
     },
     /// Remove a resident graph.
     Unload {
         name: String,
+    },
+    /// Snapshot a resident graph (the default graph when `None`) into
+    /// the server's durable store.
+    Save {
+        graph: Option<String>,
     },
     Cluster {
         graph: Option<String>,
@@ -121,22 +133,46 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "LOAD" => {
             let name = toks.next().ok_or("LOAD needs <name> <path>")?;
             validate_graph_name(name).map_err(|e| format!("bad graph name {name:?}: {e}"))?;
-            // The path is everything after the name, verbatim (paths may
-            // contain spaces; they cannot contain newlines by framing).
+            // The path is everything after the name and any options,
+            // verbatim (paths may contain spaces; they cannot contain
+            // newlines by framing).
             let after_verb = line
                 .split_once(char::is_whitespace)
                 .map(|x| x.1.trim_start())
                 .ok_or("LOAD needs <name> <path>")?;
-            let path = after_verb
+            let mut rest = after_verb
                 .strip_prefix(name)
                 .expect("name is the first token of the remainder")
                 .trim();
-            if path.is_empty() {
+            // Options sit between the name and the path so the path can
+            // stay a raw remainder-of-line.
+            let mut cache = None;
+            loop {
+                let (tok, tail) = match rest.split_once(char::is_whitespace) {
+                    Some((t, tail)) => (t, tail.trim_start()),
+                    None => (rest, ""),
+                };
+                let upper = tok.to_ascii_uppercase();
+                if let Some(v) = upper.strip_prefix("CACHE=") {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad CACHE= capacity {v:?}"))?;
+                    if n == 0 {
+                        return Err("CACHE= capacity must be at least 1".into());
+                    }
+                    cache = Some(n);
+                    rest = tail;
+                } else {
+                    break;
+                }
+            }
+            if rest.is_empty() {
                 return Err("LOAD needs a path after the name".into());
             }
             Ok(Request::Load {
                 name: name.to_string(),
-                path: path.to_string(),
+                path: rest.to_string(),
+                cache,
             })
         }
         "UNLOAD" => {
@@ -148,6 +184,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Unload {
                 name: name.to_string(),
             })
+        }
+        "SAVE" => {
+            let graph = match toks.next() {
+                None => None,
+                Some(name) => {
+                    validate_graph_name(name)
+                        .map_err(|e| format!("bad graph name {name:?}: {e}"))?;
+                    Some(name.to_string())
+                }
+            };
+            if let Some(extra) = toks.next() {
+                return Err(format!("unexpected trailing token {extra:?}"));
+            }
+            Ok(Request::Save { graph })
         }
         "CLUSTER" => {
             let params = parse_params(toks.next(), toks.next())?;
@@ -202,8 +252,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     Request::Quit | Request::Shutdown => {
                         return Err("QUIT/SHUTDOWN cannot appear in a BATCH".into())
                     }
-                    Request::Load { .. } | Request::Unload { .. } => {
-                        return Err("LOAD/UNLOAD cannot appear in a BATCH".into())
+                    Request::Load { .. } | Request::Unload { .. } | Request::Save { .. } => {
+                        return Err("LOAD/UNLOAD/SAVE cannot appear in a BATCH".into())
                     }
                     other => inner.push(other),
                 }
@@ -226,6 +276,18 @@ pub struct StatsGraph {
     pub graph_n: usize,
     pub graph_m: usize,
     pub breakpoints: usize,
+}
+
+/// Durable-store portion of a `STATS` response (absent on servers
+/// started without a store).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Graphs named by the store manifest.
+    pub persisted: usize,
+    /// Total snapshot bytes the manifest accounts for.
+    pub bytes: u64,
+    /// The audit log's next sequence number (monotonic across restarts).
+    pub audit_seq: u64,
 }
 
 /// A response ready for JSON rendering. `graph` fields carry the
@@ -256,6 +318,8 @@ pub enum Response {
     Stats {
         graph: Option<StatsGraph>,
         registry: RegistryStats,
+        /// Durable-store counters; `None` on storeless servers.
+        store: Option<StoreStats>,
         sessions: u64,
         session_requests: u64,
     },
@@ -273,10 +337,23 @@ pub enum Response {
         name: String,
         bytes_freed: usize,
     },
+    /// Acknowledgement for `SAVE`.
+    Saved {
+        name: String,
+        /// Snapshot file name inside the store.
+        snapshot: String,
+        bytes: u64,
+        millis: u64,
+    },
     /// The registry listing for `LIST`.
     List {
         default: String,
         graphs: Vec<GraphInfo>,
+        /// Names in the store manifest (persisted working set), sorted;
+        /// `None` on storeless servers. Graphs can be persisted but not
+        /// resident (evicted since the save) and vice versa (never
+        /// `SAVE`d), so the listing surfaces both sets.
+        persisted: Option<Vec<String>>,
     },
     Batch(Vec<Response>),
     /// Acknowledgement for QUIT / SHUTDOWN.
@@ -412,6 +489,7 @@ impl Response {
             Response::Stats {
                 graph,
                 registry,
+                store,
                 sessions,
                 session_requests,
             } => {
@@ -443,7 +521,7 @@ impl Response {
                     concat!(
                         r#","registry":{{"graphs":{},"loading":{},"bytes_resident":{},"#,
                         r#""byte_budget":{},"loads":{},"coalesced_loads":{},"load_failures":{},"#,
-                        r#""unloads":{},"evictions":{}}},"sessions":{},"session_requests":{}}}"#
+                        r#""unloads":{},"evictions":{}}}"#
                     ),
                     registry.graphs,
                     registry.loading,
@@ -456,8 +534,15 @@ impl Response {
                     registry.load_failures,
                     registry.unloads,
                     registry.evictions,
-                    sessions,
-                    session_requests,
+                ));
+                if let Some(s) = store {
+                    out.push_str(&format!(
+                        r#","store":{{"persisted":{},"bytes":{},"audit_seq":{}}}"#,
+                        s.persisted, s.bytes, s.audit_seq,
+                    ));
+                }
+                out.push_str(&format!(
+                    r#","sessions":{sessions},"session_requests":{session_requests}}}"#
                 ));
                 out
             }
@@ -489,7 +574,23 @@ impl Response {
                 json_escape(name),
                 bytes_freed,
             ),
-            Response::List { default, graphs } => {
+            Response::Saved {
+                name,
+                snapshot,
+                bytes,
+                millis,
+            } => format!(
+                r#"{{"ok":true,"op":"save","graph":"{}","snapshot":"{}","bytes":{},"millis":{}}}"#,
+                json_escape(name),
+                json_escape(snapshot),
+                bytes,
+                millis,
+            ),
+            Response::List {
+                default,
+                graphs,
+                persisted,
+            } => {
                 let mut out = format!(
                     r#"{{"ok":true,"op":"list","default":"{}","graphs":["#,
                     json_escape(default)
@@ -498,10 +599,13 @@ impl Response {
                     if i > 0 {
                         out.push(',');
                     }
+                    let on_disk = persisted
+                        .as_ref()
+                        .is_some_and(|p| p.iter().any(|n| n == &g.name));
                     out.push_str(&format!(
                         concat!(
                             r#"{{"name":"{}","n":{},"m":{},"bytes":{},"breakpoints":{},"#,
-                            r#""default":{}}}"#
+                            r#""default":{},"persisted":{}}}"#
                         ),
                         json_escape(&g.name),
                         g.vertices,
@@ -509,9 +613,21 @@ impl Response {
                         g.bytes,
                         g.breakpoints,
                         g.is_default,
+                        on_disk,
                     ));
                 }
-                out.push_str("]}");
+                out.push(']');
+                if let Some(p) = persisted {
+                    out.push_str(",\"persisted\":[");
+                    for (i, name) in p.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("\"{}\"", json_escape(name)));
+                    }
+                    out.push(']');
+                }
+                out.push('}');
                 out
             }
             Response::Batch(results) => {
@@ -614,7 +730,8 @@ mod tests {
             parse_request("LOAD web /data/web.pscidx"),
             Ok(Request::Load {
                 name: "web".into(),
-                path: "/data/web.pscidx".into()
+                path: "/data/web.pscidx".into(),
+                cache: None,
             })
         );
         // Paths keep their internal spaces.
@@ -622,7 +739,8 @@ mod tests {
             parse_request("load g /tmp/my graphs/a.bin"),
             Ok(Request::Load {
                 name: "g".into(),
-                path: "/tmp/my graphs/a.bin".into()
+                path: "/tmp/my graphs/a.bin".into(),
+                cache: None,
             })
         );
         assert_eq!(
@@ -634,6 +752,48 @@ mod tests {
         assert!(parse_request("LOAD bad;name /x").is_err());
         assert!(parse_request("UNLOAD").is_err());
         assert!(parse_request("UNLOAD a b").is_err());
+    }
+
+    #[test]
+    fn parses_load_cache_option_and_save() {
+        assert_eq!(
+            parse_request("LOAD web cache=512 /data/web.pscidx"),
+            Ok(Request::Load {
+                name: "web".into(),
+                path: "/data/web.pscidx".into(),
+                cache: Some(512),
+            })
+        );
+        // The path remainder still keeps its spaces after an option.
+        assert_eq!(
+            parse_request("LOAD g CACHE=64 /tmp/my graphs/a.bin"),
+            Ok(Request::Load {
+                name: "g".into(),
+                path: "/tmp/my graphs/a.bin".into(),
+                cache: Some(64),
+            })
+        );
+        assert!(parse_request("LOAD g CACHE=0 /x").is_err());
+        assert!(parse_request("LOAD g CACHE=lots /x").is_err());
+        assert!(
+            parse_request("LOAD g CACHE=9").is_err(),
+            "option but no path"
+        );
+
+        assert_eq!(parse_request("SAVE"), Ok(Request::Save { graph: None }));
+        assert_eq!(
+            parse_request("save web"),
+            Ok(Request::Save {
+                graph: Some("web".into())
+            })
+        );
+        assert!(parse_request("SAVE bad;name").is_err());
+        assert!(parse_request("SAVE a b").is_err());
+        assert!(
+            parse_request("@g SAVE").is_err(),
+            "SAVE takes its name as an argument"
+        );
+        assert!(parse_request("BATCH SAVE ; PING").is_err());
     }
 
     #[test]

@@ -221,6 +221,11 @@ struct RegistryCounters {
     evictions: AtomicU64,
 }
 
+/// Observer invoked with the name of every graph the registry evicts
+/// (after the registry lock is released). The server wires this to the
+/// durable store's audit log.
+pub type EvictHook = Box<dyn Fn(&str) + Send + Sync>;
+
 /// A named collection of resident [`QueryEngine`]s with byte-budgeted
 /// LRU admission and coalesced loading. See the module docs.
 pub struct GraphRegistry {
@@ -230,6 +235,7 @@ pub struct GraphRegistry {
     /// Global recency clock; bumped on every lookup.
     tick: AtomicU64,
     counters: RegistryCounters,
+    evict_hook: Mutex<Option<EvictHook>>,
 }
 
 impl GraphRegistry {
@@ -242,6 +248,27 @@ impl GraphRegistry {
             config,
             tick: AtomicU64::new(0),
             counters: RegistryCounters::default(),
+            evict_hook: Mutex::new(None),
+        }
+    }
+
+    /// Install an eviction observer (replacing any previous one). The
+    /// hook runs outside the registry lock, once per victim, after the
+    /// admission that displaced it completes.
+    pub fn set_evict_hook(&self, hook: EvictHook) {
+        *lock_mutex(&self.evict_hook) = Some(hook);
+    }
+
+    /// Report evictions to the hook, outside the slots lock.
+    fn notify_evicted(&self, victims: &[String]) {
+        if victims.is_empty() {
+            return;
+        }
+        let hook = lock_mutex(&self.evict_hook);
+        if let Some(hook) = hook.as_ref() {
+            for v in victims {
+                hook(v);
+            }
         }
     }
 
@@ -297,7 +324,19 @@ impl GraphRegistry {
         name: impl Into<String>,
         index: ScanIndex,
     ) -> Result<Arc<QueryEngine>, RegistryError> {
-        let engine = Arc::new(QueryEngine::new(Arc::new(index), self.config.engine));
+        self.install_with_config(name, index, self.config.engine)
+    }
+
+    /// [`GraphRegistry::install`] with a per-graph engine configuration
+    /// (warm boots use this to restore each graph's persisted cache
+    /// capacity).
+    pub fn install_with_config(
+        &self,
+        name: impl Into<String>,
+        index: ScanIndex,
+        engine_config: EngineConfig,
+    ) -> Result<Arc<QueryEngine>, RegistryError> {
+        let engine = Arc::new(QueryEngine::new(Arc::new(index), engine_config));
         self.install_engine(name, engine)
     }
 
@@ -328,21 +367,25 @@ impl GraphRegistry {
             Some(Slot::Loading(_)) => return Err(RegistryError::Loading { name }),
             None => {}
         }
-        self.admit_locked(&mut slots, &name, entry)?;
+        let victims = self.admit_locked(&mut slots, &name, entry)?;
         self.counters.loads.fetch_add(1, Ordering::Relaxed);
+        drop(slots);
+        self.notify_evicted(&victims);
         Ok(engine)
     }
 
     /// Admit `entry` under `name`, evicting least-recently-used
     /// non-default graphs until both the byte budget and the graph-count
     /// budget hold. Caller holds the write lock and has verified the
-    /// name is free.
+    /// name is free. Returns the evicted names; the caller reports them
+    /// via [`GraphRegistry::notify_evicted`] once the lock is released.
     fn admit_locked(
         &self,
         slots: &mut HashMap<String, Slot>,
         name: &str,
         entry: Arc<GraphEntry>,
-    ) -> Result<(), RegistryError> {
+    ) -> Result<Vec<String>, RegistryError> {
+        let mut victims = Vec::new();
         let budget = self.config.byte_budget;
         if let Some(budget) = budget {
             if entry.bytes > budget {
@@ -400,9 +443,10 @@ impl GraphRegistry {
             };
             slots.remove(&victim);
             self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            victims.push(victim);
         }
         slots.insert(name.to_string(), Slot::Ready(entry));
-        Ok(())
+        Ok(victims)
     }
 
     /// Load a graph under `name`, building the index with `build` only
@@ -413,6 +457,20 @@ impl GraphRegistry {
     pub fn load_with<F>(
         &self,
         name: &str,
+        build: F,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>
+    where
+        F: FnOnce() -> Result<ScanIndex, String>,
+    {
+        self.load_with_config(name, self.config.engine, build)
+    }
+
+    /// [`GraphRegistry::load_with`] with a per-graph engine
+    /// configuration (the protocol's `LOAD … CACHE=<n>` option).
+    pub fn load_with_config<F>(
+        &self,
+        name: &str,
+        engine_config: EngineConfig,
         build: F,
     ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>
     where
@@ -499,8 +557,8 @@ impl GraphRegistry {
             done: false,
         };
 
-        let admit = |index: ScanIndex| -> Result<Arc<GraphEntry>, RegistryError> {
-            let engine = Arc::new(QueryEngine::new(Arc::new(index), self.config.engine));
+        let admit = |index: ScanIndex| -> Result<(Arc<GraphEntry>, Vec<String>), RegistryError> {
+            let engine = Arc::new(QueryEngine::new(Arc::new(index), engine_config));
             let entry = Arc::new(GraphEntry {
                 bytes: engine.index().memory_bytes(),
                 engine,
@@ -509,23 +567,30 @@ impl GraphRegistry {
             let mut slots = write_lock(&self.slots);
             // Our Loading marker holds the name; remove it and admit.
             slots.remove(name);
-            self.admit_locked(&mut slots, name, Arc::clone(&entry))?;
-            Ok(entry)
+            let victims = self.admit_locked(&mut slots, name, Arc::clone(&entry))?;
+            Ok((entry, victims))
         };
-        let outcome = match build() {
-            Ok(index) => admit(index),
+        let (outcome, victims) = match build() {
+            Ok(index) => match admit(index) {
+                Ok((entry, victims)) => (Ok(entry), victims),
+                Err(e) => (Err(e), Vec::new()),
+            },
             Err(message) => {
                 // Build failed: free the name for retries.
                 let mut slots = write_lock(&self.slots);
                 slots.remove(name);
                 drop(slots);
-                Err(RegistryError::LoadFailed {
-                    name: name.into(),
-                    message,
-                })
+                (
+                    Err(RegistryError::LoadFailed {
+                        name: name.into(),
+                        message,
+                    }),
+                    Vec::new(),
+                )
             }
         };
         guard.publish(outcome.clone());
+        self.notify_evicted(&victims);
         match outcome {
             Ok(entry) => {
                 self.counters.loads.fetch_add(1, Ordering::Relaxed);
@@ -549,6 +614,16 @@ impl GraphRegistry {
         path: &str,
     ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError> {
         self.load_with(name, || build_index_from_path(path))
+    }
+
+    /// [`GraphRegistry::load_path`] with a per-graph engine config.
+    pub fn load_path_with_config(
+        &self,
+        name: &str,
+        path: &str,
+        engine_config: EngineConfig,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError> {
+        self.load_with_config(name, engine_config, || build_index_from_path(path))
     }
 
     /// Remove a graph. Errors while a load of the same name is in
@@ -798,6 +873,46 @@ mod tests {
         let err = r.install("extra", small_index(2)).unwrap_err();
         assert!(matches!(err, RegistryError::TooManyGraphs { .. }), "{err}");
         assert!(err.to_string().contains("maximum of 1"), "{err}");
+    }
+
+    #[test]
+    fn evict_hook_observes_victims() {
+        let one = index_bytes();
+        let r = GraphRegistry::new(
+            "boot",
+            RegistryConfig {
+                byte_budget: Some(2 * one + one / 2),
+                ..Default::default()
+            },
+        );
+        let evicted = Arc::new(Mutex::new(Vec::<String>::new()));
+        let sink = Arc::clone(&evicted);
+        r.set_evict_hook(Box::new(move |name| {
+            sink.lock().unwrap().push(name.to_string());
+        }));
+        r.install("boot", small_index(1)).unwrap();
+        r.install("a", small_index(2)).unwrap();
+        r.install("b", small_index(3)).unwrap(); // evicts "a" (LRU)
+        assert_eq!(evicted.lock().unwrap().as_slice(), ["a".to_string()]);
+    }
+
+    #[test]
+    fn per_load_engine_config_overrides_cache_capacity() {
+        let r = GraphRegistry::new("main", RegistryConfig::default());
+        let config = EngineConfig {
+            cache_capacity: 16,
+            ..r.engine_config()
+        };
+        let (engine, _) = r
+            .load_with_config("g", config, || Ok(small_index(1)))
+            .unwrap();
+        assert_eq!(engine.stats().cache_capacity, 16);
+        // The registry-wide default is unchanged for other graphs.
+        let (other, _) = r.load_with("h", || Ok(small_index(2))).unwrap();
+        assert_eq!(
+            other.stats().cache_capacity,
+            RegistryConfig::default().engine.cache_capacity
+        );
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! request is dropped mid-write.
 
 use crate::batch::BatchExecutor;
-use crate::engine::QueryEngine;
-use crate::protocol::{parse_request, Request, Response, StatsGraph};
+use crate::engine::{EngineConfig, QueryEngine};
+use crate::protocol::{parse_request, Request, Response, StatsGraph, StoreStats};
 use crate::registry::GraphRegistry;
+use parscan_store::{AuditKind, IndexStore};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -23,6 +24,10 @@ use std::time::{Duration, Instant};
 /// Shared server state.
 struct ServerShared {
     registry: Arc<GraphRegistry>,
+    /// The durable store, when the server was started with one
+    /// ([`serve_with_store`]); enables `SAVE` and manifest-aware
+    /// `LIST`/`STATS`.
+    store: Option<Arc<IndexStore>>,
     shutdown: AtomicBool,
     /// Total sessions ever accepted.
     sessions: AtomicU64,
@@ -59,9 +64,26 @@ impl ServerShared {
         Response::Stats {
             graph,
             registry: self.registry.stats(),
+            store: self.store.as_ref().map(|s| {
+                let entries = s.entries();
+                StoreStats {
+                    persisted: entries.len(),
+                    bytes: entries.iter().map(|e| e.bytes).sum(),
+                    audit_seq: s.audit_next_seq(),
+                }
+            }),
             sessions: self.sessions.load(Ordering::Relaxed),
             session_requests,
         }
+    }
+
+    /// Manifest names for `LIST` (`None` on storeless servers).
+    fn persisted_names(&self) -> Option<Vec<String>> {
+        self.store.as_ref().map(|s| {
+            let mut names: Vec<String> = s.entries().into_iter().map(|e| e.name).collect();
+            names.sort();
+            names
+        })
     }
 }
 
@@ -127,10 +149,37 @@ pub fn serve(
     registry: Arc<GraphRegistry>,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ServerHandle> {
+    serve_inner(registry, addr, None)
+}
+
+/// [`serve`] backed by a durable [`IndexStore`]: enables the `SAVE`
+/// protocol verb, audits every LOAD/SAVE/UNLOAD/EVICT, and surfaces the
+/// persisted working set through `LIST`/`STATS`. Callers typically run
+/// [`warm_boot`](crate::boot::warm_boot) on the registry first.
+pub fn serve_with_store(
+    registry: Arc<GraphRegistry>,
+    store: Arc<IndexStore>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
+    // Evictions happen inside registry admission, far from any protocol
+    // handler — the hook routes them into the audit log.
+    let audit_store = Arc::clone(&store);
+    registry.set_evict_hook(Box::new(move |name| {
+        let _ = audit_store.record(AuditKind::Evict, Some(name), "reason=budget");
+    }));
+    serve_inner(registry, addr, Some(store))
+}
+
+fn serve_inner(
+    registry: Arc<GraphRegistry>,
+    addr: impl ToSocketAddrs,
+    store: Option<Arc<IndexStore>>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(ServerShared {
         registry,
+        store,
         shutdown: AtomicBool::new(false),
         sessions: AtomicU64::new(0),
     });
@@ -334,22 +383,46 @@ fn handle_line(
             Response::List {
                 default: registry.default_name().to_string(),
                 graphs: registry.list(),
+                persisted: shared.persisted_names(),
             },
             Control::Continue,
         ),
-        Request::Load { name, path } => {
+        Request::Load { name, path, cache } => {
             let start = Instant::now();
+            let config = EngineConfig {
+                cache_capacity: cache.unwrap_or(registry.engine_config().cache_capacity),
+                ..registry.engine_config()
+            };
             (
-                match registry.load_path(&name, &path) {
+                match registry.load_path_with_config(&name, &path, config) {
                     Ok((engine, outcome)) => {
                         let g = engine.index().graph();
+                        let millis = start.elapsed().as_millis() as u64;
+                        if outcome == crate::registry::LoadOutcome::Loaded {
+                            if let Some(store) = &shared.store {
+                                let kind = if path.ends_with(".pscidx") {
+                                    AuditKind::Load
+                                } else {
+                                    AuditKind::Build
+                                };
+                                let _ = store.record(
+                                    kind,
+                                    Some(&name),
+                                    &format!(
+                                        "n={} m={} millis={millis}",
+                                        g.num_vertices(),
+                                        g.num_edges()
+                                    ),
+                                );
+                            }
+                        }
                         Response::Loaded {
                             name,
                             outcome,
                             vertices: g.num_vertices(),
                             edges: g.num_edges(),
                             bytes: engine.index().memory_bytes(),
-                            millis: start.elapsed().as_millis() as u64,
+                            millis,
                         }
                     }
                     Err(e) => Response::Error {
@@ -361,13 +434,52 @@ fn handle_line(
         }
         Request::Unload { name } => (
             match registry.unload(&name) {
-                Ok(bytes_freed) => Response::Unloaded { name, bytes_freed },
+                Ok(bytes_freed) => {
+                    // An explicit UNLOAD also removes the graph from the
+                    // persisted working set — the operator said "forget
+                    // this graph", and a later warm boot must respect
+                    // that. (Evictions, by contrast, leave the manifest
+                    // alone: boot re-admits whatever fits the budget.)
+                    if let Some(store) = &shared.store {
+                        let _ = store.forget(&name);
+                    }
+                    Response::Unloaded { name, bytes_freed }
+                }
                 Err(e) => Response::Error {
                     message: e.to_string(),
                 },
             },
             Control::Continue,
         ),
+        Request::Save { graph } => {
+            let start = Instant::now();
+            let response = match &shared.store {
+                None => Response::Error {
+                    message: "this server has no durable store (start it with --store-dir)".into(),
+                },
+                Some(store) => match registry.get(graph.as_deref()) {
+                    Ok((canonical, engine)) => {
+                        let pinned = canonical == registry.default_name();
+                        let cache_capacity = engine.stats().cache_capacity;
+                        match store.save(&canonical, engine.index(), pinned, cache_capacity) {
+                            Ok(entry) => Response::Saved {
+                                name: canonical,
+                                snapshot: entry.snapshot,
+                                bytes: entry.bytes,
+                                millis: start.elapsed().as_millis() as u64,
+                            },
+                            Err(e) => Response::Error {
+                                message: format!("saving {canonical:?} failed: {e}"),
+                            },
+                        }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+            };
+            (response, Control::Continue)
+        }
         Request::Cluster {
             graph,
             params,
@@ -536,6 +648,57 @@ mod tests {
         // The session closed: the next read hits EOF.
         line.clear();
         assert_eq!(reader.read_line(&mut line).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn save_persists_and_unload_forgets_via_protocol() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("parscan_serve_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(IndexStore::open(&dir).expect("open store"));
+
+        let registry = {
+            let (g, _) = generators::planted_partition(200, 4, 9.0, 1.0, 5);
+            let r = crate::registry::GraphRegistry::new("default", Default::default());
+            r.install("default", ScanIndex::build(g, IndexConfig::default()))
+                .unwrap();
+            Arc::new(r)
+        };
+        let server =
+            serve_with_store(Arc::clone(&registry), Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let out = roundtrip(server.addr(), &["SAVE", "LIST", "STATS", "QUIT"]);
+        assert!(
+            out[0].contains(r#""op":"save""#) && out[0].contains(r#""graph":"default""#),
+            "{}",
+            out[0]
+        );
+        assert!(
+            out[1].contains(r#""persisted":["default"]"#) && out[1].contains(r#""persisted":true"#),
+            "{}",
+            out[1]
+        );
+        assert!(out[2].contains(r#""store":{"persisted":1"#), "{}", out[2]);
+        assert_eq!(store.entries().len(), 1);
+
+        // UNLOAD removes the graph from the persisted working set too.
+        let out = roundtrip(server.addr(), &["UNLOAD default", "LIST", "QUIT"]);
+        assert!(out[0].contains(r#""op":"unload""#), "{}", out[0]);
+        assert!(out[1].contains(r#""persisted":[]"#), "{}", out[1]);
+        assert!(store.entries().is_empty());
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_without_store_is_a_protocol_error() {
+        let server = spawn_server();
+        let out = roundtrip(server.addr(), &["SAVE", "QUIT"]);
+        assert!(
+            out[0].contains(r#""ok":false"#) && out[0].contains("--store-dir"),
+            "{}",
+            out[0]
+        );
         server.shutdown();
     }
 

@@ -1,0 +1,333 @@
+//! The append-only audit log: every state-changing store/registry event,
+//! durably, in order.
+//!
+//! Debugging a production server after the fact needs a ground-truth
+//! event history — *when* was this graph loaded, *what* evicted it, did
+//! the operator really `SAVE` before the restart? The audit log records
+//! exactly that, in the agent-datakit style: a single append-only file
+//! of one-line events with **monotonic sequence numbers**, replayable
+//! with [`replay`] (or `grep`, since the format is text):
+//!
+//! ```text
+//! 17 1754650000123 LOAD web n=100000 m=1583412 millis=412
+//! 18 1754650002456 SAVE web bytes=33554432
+//! 19 1754650009000 EVICT old-web reason=byte-budget
+//! ```
+//!
+//! Properties:
+//!
+//! - **Monotonic seq.** Assigned under the writer lock and recovered on
+//!   open by scanning the existing tail, so sequence numbers keep
+//!   increasing across restarts — a replay can interleave logs from
+//!   several runs and still order them.
+//! - **Crash-tolerant.** Appends are flushed per event. A crash can tear
+//!   at most the final line; [`replay`] skips unparseable lines instead
+//!   of failing, so one torn tail never poisons the history.
+//! - **Size-rotated.** When the live file exceeds the configured cap it
+//!   is renamed to `<name>.1` (replacing the previous rotation) and a
+//!   fresh file continues the sequence — the log is bounded at ~2× the
+//!   cap, and the most recent events are always on disk.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event kinds recorded by the store and server. Kept as an enum (not
+/// free-form strings) so replay-driven tooling can match exhaustively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditKind {
+    /// Server started and warm-booted from the manifest.
+    Boot,
+    /// A graph was admitted into the registry (protocol `LOAD` or boot
+    /// preload).
+    Load,
+    /// An index was built from a raw graph (as opposed to read from a
+    /// snapshot).
+    Build,
+    /// A snapshot was written (protocol `SAVE`).
+    Save,
+    /// A graph was explicitly removed (protocol `UNLOAD`).
+    Unload,
+    /// The registry evicted a graph to make room under its budget.
+    Evict,
+}
+
+impl AuditKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditKind::Boot => "BOOT",
+            AuditKind::Load => "LOAD",
+            AuditKind::Build => "BUILD",
+            AuditKind::Save => "SAVE",
+            AuditKind::Unload => "UNLOAD",
+            AuditKind::Evict => "EVICT",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "BOOT" => AuditKind::Boot,
+            "LOAD" => AuditKind::Load,
+            "BUILD" => AuditKind::Build,
+            "SAVE" => AuditKind::Save,
+            "UNLOAD" => AuditKind::Unload,
+            "EVICT" => AuditKind::Evict,
+            _ => return None,
+        })
+    }
+}
+
+/// One replayed audit event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuditEvent {
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at append time.
+    pub unix_millis: u64,
+    pub kind: AuditKind,
+    /// The graph the event concerns (`None` for server-level events like
+    /// `BOOT`, written as `-` on the wire).
+    pub graph: Option<String>,
+    /// Free-form `key=value` detail tail (may be empty).
+    pub detail: String,
+}
+
+/// The live, size-rotated append handle. One per store; callers
+/// serialize access (the store wraps it in a `Mutex`).
+#[derive(Debug)]
+pub struct AuditLog {
+    path: PathBuf,
+    file: File,
+    bytes: u64,
+    next_seq: u64,
+    max_bytes: u64,
+}
+
+/// The rotated sibling of an audit-log path (`audit.log` →
+/// `audit.log.1`).
+fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_owned();
+    name.push(".1");
+    PathBuf::from(name)
+}
+
+/// Best-effort parse of one log line; `None` for torn/foreign lines.
+fn parse_line(line: &str) -> Option<AuditEvent> {
+    let mut parts = line.splitn(5, ' ');
+    let seq = parts.next()?.parse().ok()?;
+    let unix_millis = parts.next()?.parse().ok()?;
+    let kind = AuditKind::parse(parts.next()?)?;
+    let graph = match parts.next()? {
+        "-" => None,
+        g => Some(g.to_string()),
+    };
+    let detail = parts.next().unwrap_or("").to_string();
+    Some(AuditEvent {
+        seq,
+        unix_millis,
+        kind,
+        graph,
+        detail,
+    })
+}
+
+/// Last sequence number recorded in `path` (0 when absent/empty). Torn
+/// tail lines are skipped, like everywhere else.
+fn last_seq_in(path: &Path) -> u64 {
+    let Ok(f) = File::open(path) else { return 0 };
+    BufReader::new(f)
+        .lines()
+        .map_while(Result::ok)
+        .filter_map(|l| parse_line(&l))
+        .map(|e| e.seq)
+        .last()
+        .unwrap_or(0)
+}
+
+impl AuditLog {
+    /// Open (or create) the log at `path`, recovering the next sequence
+    /// number from the existing tail — including the rotated file, so a
+    /// rotation immediately before a restart cannot reset the sequence.
+    pub fn open(path: impl Into<PathBuf>, max_bytes: u64) -> io::Result<AuditLog> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        let last = last_seq_in(&path).max(last_seq_in(&rotated_path(&path)));
+        Ok(AuditLog {
+            path,
+            file,
+            bytes,
+            next_seq: last + 1,
+            max_bytes,
+        })
+    }
+
+    /// Append one event, returning its sequence number. The write is
+    /// flushed so an immediately following crash loses at most the line
+    /// being written (the OS page cache holds it; full fsync per event
+    /// would serialize every protocol command on disk latency — the
+    /// audit log trades that durability notch for throughput, unlike
+    /// snapshots and the manifest which fsync always).
+    pub fn append(
+        &mut self,
+        kind: AuditKind,
+        graph: Option<&str>,
+        detail: &str,
+    ) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let unix_millis = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        debug_assert!(!detail.contains('\n'), "audit detail must be single-line");
+        let line = format!(
+            "{seq} {unix_millis} {} {} {detail}\n",
+            kind.as_str(),
+            graph.unwrap_or("-"),
+        );
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.bytes += line.len() as u64;
+        if self.bytes > self.max_bytes {
+            self.rotate()?;
+        }
+        Ok(seq)
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        // Replace any previous rotation; the sequence keeps counting.
+        std::fs::rename(&self.path, rotated_path(&self.path))?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.bytes = 0;
+        Ok(())
+    }
+}
+
+/// Replay the audit history at `path` (rotated file first, then the live
+/// file), in sequence order. Unparseable lines — a torn tail after a
+/// crash, say — are skipped, not errors.
+pub fn replay(path: &Path) -> io::Result<Vec<AuditEvent>> {
+    let mut events = Vec::new();
+    for p in [rotated_path(path), path.to_path_buf()] {
+        let f = match File::open(&p) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        events.extend(
+            BufReader::new(f)
+                .lines()
+                .map_while(Result::ok)
+                .filter_map(|l| parse_line(&l)),
+        );
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parscan_audit_{name}_{}", std::process::id()));
+        p
+    }
+
+    fn clean(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(rotated_path(p));
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let p = tmp("basic");
+        clean(&p);
+        let mut log = AuditLog::open(&p, 1 << 20).unwrap();
+        assert_eq!(log.append(AuditKind::Boot, None, "graphs=0").unwrap(), 1);
+        assert_eq!(
+            log.append(AuditKind::Load, Some("web"), "n=10 m=20")
+                .unwrap(),
+            2
+        );
+        assert_eq!(log.append(AuditKind::Save, Some("web"), "").unwrap(), 3);
+        let events = replay(&p).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, AuditKind::Boot);
+        assert_eq!(events[0].graph, None);
+        assert_eq!(events[1].graph.as_deref(), Some("web"));
+        assert_eq!(events[1].detail, "n=10 m=20");
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        clean(&p);
+    }
+
+    #[test]
+    fn sequence_survives_reopen() {
+        let p = tmp("reopen");
+        clean(&p);
+        {
+            let mut log = AuditLog::open(&p, 1 << 20).unwrap();
+            log.append(AuditKind::Load, Some("a"), "").unwrap();
+            log.append(AuditKind::Load, Some("b"), "").unwrap();
+        }
+        let mut log = AuditLog::open(&p, 1 << 20).unwrap();
+        assert_eq!(log.next_seq(), 3, "sequence continues across restarts");
+        assert_eq!(log.append(AuditKind::Unload, Some("a"), "").unwrap(), 3);
+        clean(&p);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped() {
+        let p = tmp("torn");
+        clean(&p);
+        {
+            let mut log = AuditLog::open(&p, 1 << 20).unwrap();
+            log.append(AuditKind::Load, Some("a"), "ok=1").unwrap();
+        }
+        // Simulate a crash mid-append: a truncated line at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&p).unwrap();
+            f.write_all(b"2 17546").unwrap();
+        }
+        let events = replay(&p).unwrap();
+        assert_eq!(events.len(), 1, "torn line skipped, good line kept");
+        // And the next writer continues past the good sequence.
+        let log = AuditLog::open(&p, 1 << 20).unwrap();
+        assert_eq!(log.next_seq(), 2);
+        clean(&p);
+    }
+
+    #[test]
+    fn rotation_bounds_size_and_keeps_sequence() {
+        let p = tmp("rotate");
+        clean(&p);
+        let mut log = AuditLog::open(&p, 256).unwrap();
+        for i in 0..64 {
+            log.append(AuditKind::Load, Some("g"), &format!("i={i}"))
+                .unwrap();
+        }
+        let live = std::fs::metadata(&p).unwrap().len();
+        assert!(live <= 512, "live file stays near the cap, got {live}");
+        assert!(rotated_path(&p).exists(), "rotation happened");
+        let events = replay(&p).unwrap();
+        // Replay covers rotated + live; the newest events are intact and
+        // the sequence is strictly increasing across the rotation seam.
+        assert!(events.len() >= 2);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events.last().unwrap().detail, "i=63");
+        // A reopen after rotation still continues the global sequence.
+        drop(log);
+        let log = AuditLog::open(&p, 256).unwrap();
+        assert_eq!(log.next_seq(), 65);
+        clean(&p);
+    }
+}

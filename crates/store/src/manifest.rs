@@ -1,0 +1,309 @@
+//! The registry manifest: which graphs a store holds, durably.
+//!
+//! The manifest is the store's *root pointer*: a restarted server reads
+//! it to learn its previous working set — each graph's name, snapshot
+//! file, similarity measure, pin status, and per-graph engine
+//! configuration — and re-admits everything unattended (warm boot). It
+//! is deliberately a **text** format: one graph per line, inspectable
+//! with `cat`, diffable, greppable in an incident.
+//!
+//! ```text
+//! parscan-manifest v1
+//! # optional comments
+//! graph name=web snapshot=web.pscidx measure=cosine pinned=1 cache=256 bytes=33554432 n=100000 m=1583412
+//! checksum 1f2e3d4c5b6a7988
+//! ```
+//!
+//! Integrity and evolution:
+//!
+//! - The final `checksum` line carries [`checksum64`] over every byte
+//!   before it; a torn or hand-mangled manifest is rejected as a typed
+//!   error, never half-applied.
+//! - Rewrites are atomic ([`atomic_write`]): the manifest on disk is
+//!   always a complete, checksummed generation — the same temp + fsync +
+//!   rename discipline as index snapshots.
+//! - Per-entry fields are `key=value` pairs; readers ignore unknown keys
+//!   and versioned parsing gates the header, so future fields (tiering
+//!   policy, TTLs) can be added without breaking old readers.
+
+use parscan_core::persist::{atomic_write, checksum64};
+use parscan_core::SimilarityMeasure;
+use std::io::{self, ErrorKind};
+use std::path::Path;
+
+/// Manifest format identifier (first line).
+const HEADER: &str = "parscan-manifest v1";
+
+/// One persisted graph: everything a warm boot needs to re-admit it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ManifestEntry {
+    /// Registry name (validated to `[A-Za-z0-9_.-]{1,64}` upstream, so
+    /// it never needs quoting in the line format).
+    pub name: String,
+    /// Snapshot file name, relative to the store's snapshot directory.
+    pub snapshot: String,
+    /// Similarity measure the snapshot was built with.
+    pub measure: SimilarityMeasure,
+    /// Whether this graph is the server's pinned default.
+    pub pinned: bool,
+    /// The engine's result-cache capacity for this graph.
+    pub cache_capacity: usize,
+    /// Snapshot file size in bytes — the load-cost estimate used to
+    /// work-balance parallel warm boots.
+    pub bytes: u64,
+    /// Vertex count (display/diagnostics; the snapshot is authoritative).
+    pub vertices: u64,
+    /// Edge count (display/diagnostics).
+    pub edges: u64,
+}
+
+fn measure_name(m: SimilarityMeasure) -> &'static str {
+    match m {
+        SimilarityMeasure::Cosine => "cosine",
+        SimilarityMeasure::Jaccard => "jaccard",
+        SimilarityMeasure::Dice => "dice",
+    }
+}
+
+fn measure_from_name(s: &str) -> Option<SimilarityMeasure> {
+    match s {
+        "cosine" => Some(SimilarityMeasure::Cosine),
+        "jaccard" => Some(SimilarityMeasure::Jaccard),
+        "dice" => Some(SimilarityMeasure::Dice),
+        _ => None,
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Serialize `entries` into manifest bytes (header, one `graph` line per
+/// entry in the given order, checksum trailer).
+pub fn render(entries: &[ManifestEntry]) -> Vec<u8> {
+    let mut body = String::with_capacity(64 + entries.len() * 96);
+    body.push_str(HEADER);
+    body.push('\n');
+    for e in entries {
+        body.push_str(&format!(
+            "graph name={} snapshot={} measure={} pinned={} cache={} bytes={} n={} m={}\n",
+            e.name,
+            e.snapshot,
+            measure_name(e.measure),
+            u8::from(e.pinned),
+            e.cache_capacity,
+            e.bytes,
+            e.vertices,
+            e.edges,
+        ));
+    }
+    let sum = checksum64(body.as_bytes());
+    body.push_str(&format!("checksum {sum:016x}\n"));
+    body.into_bytes()
+}
+
+/// Parse manifest bytes, verifying the checksum trailer and the header.
+pub fn parse(bytes: &[u8]) -> io::Result<Vec<ManifestEntry>> {
+    let text = std::str::from_utf8(bytes).map_err(|_| bad("manifest is not UTF-8".into()))?;
+    // Split off the checksum trailer: the last non-empty line.
+    let trimmed = text.trim_end_matches('\n');
+    let (body_end, trailer) = match trimmed.rfind('\n') {
+        Some(i) => (i + 1, &trimmed[i + 1..]),
+        None => (0, trimmed),
+    };
+    let stored = trailer
+        .strip_prefix("checksum ")
+        .ok_or_else(|| bad("manifest missing checksum trailer".into()))?;
+    let stored = u64::from_str_radix(stored.trim(), 16)
+        .map_err(|_| bad(format!("bad manifest checksum literal {stored:?}")))?;
+    let body = &text[..body_end];
+    if checksum64(body.as_bytes()) != stored {
+        return Err(bad("manifest checksum mismatch: file is corrupted".into()));
+    }
+
+    let mut lines = body.lines();
+    match lines.next() {
+        Some(h) if h == HEADER => {}
+        Some(h) if h.starts_with("parscan-manifest") => {
+            return Err(bad(format!("unsupported manifest version: {h:?}")));
+        }
+        other => {
+            return Err(bad(format!(
+                "not a parscan manifest (first line {other:?})"
+            )))
+        }
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(fields) = line.strip_prefix("graph ") else {
+            return Err(bad(format!("unrecognized manifest line {line:?}")));
+        };
+        entries.push(parse_entry(fields)?);
+    }
+    Ok(entries)
+}
+
+fn parse_entry(fields: &str) -> io::Result<ManifestEntry> {
+    let mut name = None;
+    let mut snapshot = None;
+    let mut measure = None;
+    let mut pinned = false;
+    let mut cache_capacity: usize = 128;
+    let mut bytes: u64 = 0;
+    let mut vertices: u64 = 0;
+    let mut edges: u64 = 0;
+    for pair in fields.split_whitespace() {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(bad(format!("bad manifest field {pair:?} (want key=value)")));
+        };
+        match key {
+            "name" => name = Some(value.to_string()),
+            "snapshot" => snapshot = Some(value.to_string()),
+            "measure" => {
+                measure = Some(
+                    measure_from_name(value)
+                        .ok_or_else(|| bad(format!("unknown measure {value:?}")))?,
+                )
+            }
+            "pinned" => pinned = value == "1",
+            "cache" => {
+                cache_capacity = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad cache capacity {value:?}")))?
+            }
+            "bytes" => {
+                bytes = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad bytes field {value:?}")))?
+            }
+            "n" => {
+                vertices = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad n field {value:?}")))?
+            }
+            "m" => {
+                edges = value
+                    .parse()
+                    .map_err(|_| bad(format!("bad m field {value:?}")))?
+            }
+            // Unknown keys are future fields; skip them.
+            _ => {}
+        }
+    }
+    Ok(ManifestEntry {
+        name: name.ok_or_else(|| bad("manifest entry missing name=".into()))?,
+        snapshot: snapshot.ok_or_else(|| bad("manifest entry missing snapshot=".into()))?,
+        measure: measure.ok_or_else(|| bad("manifest entry missing measure=".into()))?,
+        pinned,
+        cache_capacity,
+        bytes,
+        vertices,
+        edges,
+    })
+}
+
+/// Atomically replace the manifest at `path` with `entries`.
+pub fn write(path: &Path, entries: &[ManifestEntry]) -> io::Result<()> {
+    atomic_write(path, &render(entries))
+}
+
+/// Read and parse the manifest at `path`. A missing file is an empty
+/// working set, not an error (first boot of a fresh store).
+pub fn read(path: &Path) -> io::Result<Vec<ManifestEntry>> {
+    match std::fs::read(path) {
+        Ok(bytes) => parse(&bytes),
+        Err(e) if e.kind() == ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ManifestEntry> {
+        vec![
+            ManifestEntry {
+                name: "boot".into(),
+                snapshot: "boot.pscidx".into(),
+                measure: SimilarityMeasure::Cosine,
+                pinned: true,
+                cache_capacity: 128,
+                bytes: 4096,
+                vertices: 300,
+                edges: 1500,
+            },
+            ManifestEntry {
+                name: "web-2024.v1".into(),
+                snapshot: "web-2024.v1.pscidx".into(),
+                measure: SimilarityMeasure::Jaccard,
+                pinned: false,
+                cache_capacity: 512,
+                bytes: 1 << 20,
+                vertices: 100_000,
+                edges: 1_583_412,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let entries = sample();
+        let bytes = render(&entries);
+        assert_eq!(parse(&bytes).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let bytes = render(&[]);
+        assert_eq!(parse(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = render(&sample());
+        // Flip a byte inside an entry line.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let err = parse(&bytes).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        // Truncations anywhere are rejected too (checksum or structure).
+        let bytes = render(&sample());
+        for cut in [0, 10, bytes.len() / 2, bytes.len() - 2] {
+            assert!(parse(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored_future_versions_rejected() {
+        let entries = sample();
+        let text = String::from_utf8(render(&entries)).unwrap();
+        // Inject an unknown key into the first graph line and reseal.
+        let patched = text.replace("pinned=1", "pinned=1 ttl_secs=60");
+        let body_end = patched.rfind("checksum ").unwrap();
+        let body = &patched[..body_end];
+        let resealed = format!("{body}checksum {:016x}\n", checksum64(body.as_bytes()));
+        assert_eq!(parse(resealed.as_bytes()).unwrap(), entries);
+
+        // A future header version is a typed error.
+        let future = "parscan-manifest v9\n";
+        let sealed = format!("{future}checksum {:016x}\n", checksum64(future.as_bytes()));
+        let err = parse(sealed.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_is_empty() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parscan_manifest_test_{}", std::process::id()));
+        let entries = sample();
+        write(&p, &entries).unwrap();
+        assert_eq!(read(&p).unwrap(), entries);
+        std::fs::remove_file(&p).unwrap();
+        assert_eq!(read(&p).unwrap(), Vec::new());
+    }
+}

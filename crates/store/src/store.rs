@@ -1,0 +1,365 @@
+//! [`IndexStore`]: one directory owning snapshots, manifest, and audit
+//! log.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.psm          the working set (see `manifest`)
+//!   audit.log             append-only event history (see `audit`)
+//!   audit.log.1           previous rotation, if any
+//!   snapshots/
+//!     <name>.pscidx       one v2 index snapshot per persisted graph
+//! ```
+//!
+//! Write ordering makes every crash window safe: a snapshot is written
+//! (atomically) *before* the manifest names it, so the manifest never
+//! points at a missing or partial snapshot; removing a graph rewrites
+//! the manifest *before* deleting the snapshot, so the worst crash
+//! outcome is an orphaned snapshot file, never a dangling manifest
+//! entry. Both files are replaced via temp + fsync + rename.
+
+use crate::audit::{self, AuditEvent, AuditKind, AuditLog};
+use crate::manifest::{self, ManifestEntry};
+use parscan_core::ScanIndex;
+use std::io::{self, ErrorKind};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Store tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Audit-log size cap before rotation.
+    pub audit_max_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            // Generous for a text log of one line per state change; a
+            // rotation pair bounds disk use at ~8 MiB per store.
+            audit_max_bytes: 4 << 20,
+        }
+    }
+}
+
+/// A durable index store rooted at one directory. Cheap to share behind
+/// an `Arc`; interior mutability makes every method `&self`.
+#[derive(Debug)]
+pub struct IndexStore {
+    dir: PathBuf,
+    manifest_path: PathBuf,
+    audit_path: PathBuf,
+    /// In-memory copy of the manifest; every mutation rewrites the file
+    /// under this lock, so disk and memory never diverge.
+    entries: Mutex<Vec<ManifestEntry>>,
+    audit: Mutex<AuditLog>,
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Store-level name check, independent of the server crate: snapshot
+/// file names are derived from graph names, so the charset must stay
+/// path-safe even for direct library users.
+fn validate_name(name: &str) -> io::Result<()> {
+    if name.is_empty() || name.len() > 64 {
+        return Err(bad(format!(
+            "bad graph name {name:?}: length must be 1..=64"
+        )));
+    }
+    if let Some(c) = name
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')))
+    {
+        return Err(bad(format!(
+            "bad graph name {name:?}: character {c:?} not allowed"
+        )));
+    }
+    Ok(())
+}
+
+impl IndexStore {
+    /// Open (or initialize) the store at `dir` with default config.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<IndexStore> {
+        IndexStore::open_with(dir, StoreConfig::default())
+    }
+
+    /// Open (or initialize) the store at `dir`. Creates the directory
+    /// tree on first use; reads the manifest (a corrupted manifest is a
+    /// typed error — better to refuse to boot than to silently forget
+    /// the working set) and recovers the audit sequence.
+    pub fn open_with(dir: impl Into<PathBuf>, config: StoreConfig) -> io::Result<IndexStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("snapshots"))?;
+        let manifest_path = dir.join("manifest.psm");
+        let audit_path = dir.join("audit.log");
+        let entries = manifest::read(&manifest_path)?;
+        let audit = AuditLog::open(&audit_path, config.audit_max_bytes)?;
+        Ok(IndexStore {
+            dir,
+            manifest_path,
+            audit_path,
+            entries: Mutex::new(entries),
+            audit: Mutex::new(audit),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the manifest (the persisted working set), in manifest
+    /// order.
+    pub fn entries(&self) -> Vec<ManifestEntry> {
+        self.lock_entries().clone()
+    }
+
+    /// One manifest entry by graph name.
+    pub fn entry(&self, name: &str) -> Option<ManifestEntry> {
+        self.lock_entries().iter().find(|e| e.name == name).cloned()
+    }
+
+    /// Absolute path of an entry's snapshot file.
+    pub fn snapshot_path(&self, entry: &ManifestEntry) -> PathBuf {
+        self.dir.join("snapshots").join(&entry.snapshot)
+    }
+
+    /// Persist `index` as `name`'s snapshot and upsert its manifest
+    /// entry. The snapshot is written crash-safely before the manifest
+    /// references it; the audit log records the `SAVE`. Returns the new
+    /// entry (its `bytes` is the snapshot file size).
+    pub fn save(
+        &self,
+        name: &str,
+        index: &ScanIndex,
+        pinned: bool,
+        cache_capacity: usize,
+    ) -> io::Result<ManifestEntry> {
+        validate_name(name)?;
+        let snapshot = format!("{name}.pscidx");
+        let path = self.dir.join("snapshots").join(&snapshot);
+        index.save(&path)?;
+        let bytes = std::fs::metadata(&path)?.len();
+        let g = index.graph();
+        let entry = ManifestEntry {
+            name: name.to_string(),
+            snapshot,
+            measure: index.measure(),
+            pinned,
+            cache_capacity,
+            bytes,
+            vertices: g.num_vertices() as u64,
+            edges: g.num_edges() as u64,
+        };
+        {
+            let mut entries = self.lock_entries();
+            match entries.iter_mut().find(|e| e.name == name) {
+                Some(slot) => *slot = entry.clone(),
+                None => entries.push(entry.clone()),
+            }
+            manifest::write(&self.manifest_path, &entries)?;
+        }
+        let _ = self.record(AuditKind::Save, Some(name), &format!("bytes={bytes}"));
+        Ok(entry)
+    }
+
+    /// Load `name`'s snapshot back into a [`ScanIndex`] (one sequential
+    /// read; checksum and structural validation inside the v2 reader).
+    pub fn load(&self, name: &str) -> io::Result<(ScanIndex, ManifestEntry)> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| bad(format!("graph {name:?} is not in the store manifest")))?;
+        let index = ScanIndex::load(self.snapshot_path(&entry))?;
+        Ok((index, entry))
+    }
+
+    /// Remove `name` from the working set: manifest entry first (so a
+    /// crash never leaves the manifest pointing at a deleted snapshot),
+    /// then the snapshot file. Returns the removed entry, or `None` if
+    /// the graph was not persisted.
+    pub fn forget(&self, name: &str) -> io::Result<Option<ManifestEntry>> {
+        let removed = {
+            let mut entries = self.lock_entries();
+            let Some(at) = entries.iter().position(|e| e.name == name) else {
+                return Ok(None);
+            };
+            let removed = entries.remove(at);
+            manifest::write(&self.manifest_path, &entries)?;
+            removed
+        };
+        match std::fs::remove_file(self.snapshot_path(&removed)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let _ = self.record(AuditKind::Unload, Some(name), "");
+        Ok(Some(removed))
+    }
+
+    /// Append an audit event; returns its sequence number. Audit I/O
+    /// failures are returned but are safe for callers to ignore — the
+    /// log is an observability aid, not a correctness dependency.
+    pub fn record(&self, kind: AuditKind, graph: Option<&str>, detail: &str) -> io::Result<u64> {
+        self.audit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .append(kind, graph, detail)
+    }
+
+    /// The sequence number the next audit append will use (monotonic
+    /// across restarts).
+    pub fn audit_next_seq(&self) -> u64 {
+        self.audit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .next_seq()
+    }
+
+    /// Replay the full on-disk audit history (rotated + live files).
+    pub fn replay(&self) -> io::Result<Vec<AuditEvent>> {
+        audit::replay(&self.audit_path)
+    }
+
+    fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<ManifestEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parscan_core::{IndexConfig, QueryParams};
+    use parscan_graph::generators;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("parscan_store_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn small_index(seed: u64) -> ScanIndex {
+        let (g, _) = generators::planted_partition(200, 4, 9.0, 1.0, seed);
+        ScanIndex::build(g, IndexConfig::default())
+    }
+
+    #[test]
+    fn save_load_round_trip_with_manifest() {
+        let dir = tmp_dir("roundtrip");
+        let store = IndexStore::open(&dir).unwrap();
+        let idx = small_index(1);
+        let entry = store.save("boot", &idx, true, 256).unwrap();
+        assert_eq!(entry.name, "boot");
+        assert!(entry.pinned);
+        assert_eq!(entry.cache_capacity, 256);
+        assert!(entry.bytes > 0);
+
+        let (loaded, entry2) = store.load("boot").unwrap();
+        assert_eq!(entry2, entry);
+        assert_eq!(loaded.graph(), idx.graph());
+        let p = QueryParams::new(3, 0.4);
+        assert_eq!(
+            idx.cluster_with(p, parscan_core::BorderAssignment::MostSimilar),
+            loaded.cluster_with(p, parscan_core::BorderAssignment::MostSimilar)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_working_set_and_audit_seq() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = IndexStore::open(&dir).unwrap();
+            store.save("a", &small_index(1), true, 128).unwrap();
+            store.save("b", &small_index(2), false, 64).unwrap();
+        }
+        let store = IndexStore::open(&dir).unwrap();
+        let names: Vec<String> = store.entries().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["a", "b"]);
+        // Two SAVE events happened; the next seq continues past them.
+        assert!(store.audit_next_seq() >= 3, "{}", store.audit_next_seq());
+        let events = store.replay().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.kind == AuditKind::Save));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_is_an_upsert() {
+        let dir = tmp_dir("upsert");
+        let store = IndexStore::open(&dir).unwrap();
+        store.save("g", &small_index(1), false, 128).unwrap();
+        let e2 = store.save("g", &small_index(2), false, 512).unwrap();
+        assert_eq!(store.entries().len(), 1);
+        assert_eq!(store.entry("g").unwrap(), e2);
+        assert_eq!(e2.cache_capacity, 512);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forget_removes_entry_and_snapshot() {
+        let dir = tmp_dir("forget");
+        let store = IndexStore::open(&dir).unwrap();
+        let entry = store.save("g", &small_index(1), false, 128).unwrap();
+        let snap = store.snapshot_path(&entry);
+        assert!(snap.exists());
+        assert!(store.forget("g").unwrap().is_some());
+        assert!(!snap.exists());
+        assert!(store.entry("g").is_none());
+        assert!(store.forget("g").unwrap().is_none(), "idempotent");
+        // Survives reopen: the manifest no longer lists it.
+        drop(store);
+        let store = IndexStore::open(&dir).unwrap();
+        assert!(store.entries().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let dir = tmp_dir("names");
+        let store = IndexStore::open(&dir).unwrap();
+        let idx = small_index(1);
+        assert!(store.save("", &idx, false, 1).is_err());
+        assert!(store.save("has space", &idx, false, 1).is_err());
+        assert!(store.save("slash/y", &idx, false, 1).is_err());
+        assert!(store.save(&"x".repeat(65), &idx, false, 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_manifest_refuses_to_open() {
+        let dir = tmp_dir("corrupt");
+        {
+            let store = IndexStore::open(&dir).unwrap();
+            store.save("g", &small_index(1), false, 128).unwrap();
+        }
+        let manifest = dir.join("manifest.psm");
+        let mut bytes = std::fs::read(&manifest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x11;
+        std::fs::write(&manifest, &bytes).unwrap();
+        let err = IndexStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_a_typed_load_error() {
+        let dir = tmp_dir("snapcorrupt");
+        let store = IndexStore::open(&dir).unwrap();
+        let entry = store.save("g", &small_index(1), false, 128).unwrap();
+        let snap = store.snapshot_path(&entry);
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = store.load("g").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

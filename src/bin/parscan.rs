@@ -9,10 +9,12 @@
 //! parscan cluster  <graph|index> --mu M --eps E    one SCAN clustering
 //!                  [--jaccard] [--approx K] [--out FILE]
 //! parscan sweep    <graph|index> [--eps-step S]    grid-search best modularity
-//! parscan serve    <graph|index> --port P          TCP query server over one or
+//! parscan serve    [graph|index] --port P          TCP query server over one or
 //!                  [--host H] [--cache N]          more resident indexes
 //!                  [--name NAME] [--graph NAME=PATH]...
 //!                  [--budget MIB] [--max-graphs N]
+//!                  [--store-dir DIR]               durable store: SAVE verb +
+//!                                                  warm boot on restart
 //! parscan convert  <in> <out>                      convert between formats
 //! parscan generate <kind> --n N --out FILE         synthetic graphs
 //!                  (kinds: rmat, er, sbm, wsbm)
@@ -59,8 +61,9 @@ const USAGE: &str = "usage:
   parscan index    <graph> --out FILE.pscidx [--jaccard] [--approx K]
   parscan cluster  <graph|index.pscidx> --mu M --eps E [--jaccard] [--approx K] [--out FILE]
   parscan sweep    <graph|index.pscidx> [--eps-step S]
-  parscan serve    <graph|index.pscidx> --port P [--host H] [--cache N] [--jaccard] [--approx K]
+  parscan serve    [graph|index.pscidx] --port P [--host H] [--cache N] [--jaccard] [--approx K]
                    [--name NAME] [--graph NAME=PATH]... [--budget MIB] [--max-graphs N]
+                   [--store-dir DIR]   (path optional when DIR warm-boots a saved working set)
   parscan convert  <in> <out>          (formats by extension: .bin, .graph/.metis, text)
   parscan generate (rmat|er|sbm|wsbm) --n N [--deg D] [--seed S] --out FILE";
 
@@ -274,20 +277,41 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use parscan::server::{serve_with_store, warm_boot};
+    use parscan::store::IndexStore;
     use std::sync::Arc;
 
-    let path = args.first().ok_or("serve needs a graph or index path")?;
+    // The graph path is optional when a store directory can warm-boot
+    // the working set instead.
+    let path = args.first().filter(|a| !a.starts_with('-'));
     let port: u16 = parse(args, "--port")?.ok_or("--port is required")?;
     let host = flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
     let cache: usize = parse(args, "--cache")?.unwrap_or(128);
-    let boot_name = flag(args, "--name").unwrap_or_else(|| "default".to_string());
     let budget_mib: Option<usize> = parse(args, "--budget")?;
     let max_graphs: usize = parse(args, "--max-graphs")?.unwrap_or(64);
+    let store_dir = flag(args, "--store-dir");
 
-    // The boot graph honors --jaccard/--approx; additional graphs
-    // (preloaded here or LOADed at runtime) use the default index
-    // configuration, exactly like the protocol's LOAD command.
-    let index = load_or_build_index(path, args)?;
+    let store = store_dir
+        .map(|dir| IndexStore::open(&dir).map_err(|e| format!("cannot open store {dir}: {e}")))
+        .transpose()?
+        .map(Arc::new);
+    if path.is_none() && store.is_none() {
+        return Err("serve needs a graph or index path (or --store-dir)".into());
+    }
+
+    // The default graph's name: --name wins; otherwise the store's
+    // pinned manifest entry (the previous run's default); else "default".
+    let boot_name = flag(args, "--name")
+        .or_else(|| {
+            store.as_ref().and_then(|s| {
+                s.entries()
+                    .iter()
+                    .find(|e| e.pinned)
+                    .map(|e| e.name.clone())
+            })
+        })
+        .unwrap_or_else(|| "default".to_string());
+
     let registry = Arc::new(GraphRegistry::new(
         boot_name.clone(),
         RegistryConfig {
@@ -299,28 +323,69 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             },
         },
     ));
-    registry
-        .install(boot_name.clone(), index)
-        .map_err(|e| e.to_string())?;
+
+    // Warm boot: repopulate the registry from snapshots, no rebuilds.
+    if let Some(store) = &store {
+        let report = warm_boot(&registry, store);
+        if !report.loaded.is_empty() {
+            println!(
+                "warm boot: {} graph(s) restored from {} in {} ms",
+                report.loaded.len(),
+                store.dir().display(),
+                report.millis,
+            );
+        }
+        for (name, why) in &report.skipped {
+            eprintln!("warm boot: skipped @{name}: {why}");
+        }
+    }
+
+    // The boot graph honors --jaccard/--approx; additional graphs
+    // (preloaded here or LOADed at runtime) use the default index
+    // configuration, exactly like the protocol's LOAD command. A warm
+    // boot that already restored the default graph wins over the path
+    // argument — loading a snapshot beats rebuilding an index.
+    if registry.get(None).is_err() {
+        let path = path.ok_or_else(|| {
+            format!("the store has no snapshot of {boot_name:?}; serve needs a graph path")
+        })?;
+        let index = load_or_build_index(path, args)?;
+        registry
+            .install(boot_name.clone(), index)
+            .map_err(|e| e.to_string())?;
+    }
     for spec in flag_values(args, "--graph") {
         let (name, gpath) = spec
             .split_once('=')
             .ok_or_else(|| format!("--graph expects NAME=PATH, got {spec:?}"))?;
+        // A name the warm boot already restored reports AlreadyLoaded:
+        // the snapshot wins over rebuilding from the path.
         registry.load_path(name, gpath).map_err(|e| e.to_string())?;
     }
 
-    let server = serve(Arc::clone(&registry), (host.as_str(), port))
-        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    let server = match &store {
+        Some(store) => serve_with_store(
+            Arc::clone(&registry),
+            Arc::clone(store),
+            (host.as_str(), port),
+        ),
+        None => serve(Arc::clone(&registry), (host.as_str(), port)),
+    }
+    .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     let stats = registry.stats();
     println!(
-        "serving {} graph(s) on {} (~{} MiB resident{}, cache {cache}/graph); \
-         line protocol: [@graph] CLUSTER/PROBE/SWEEP/STATS, LOAD/UNLOAD/LIST, \
+        "serving {} graph(s) on {} (~{} MiB resident{}, cache {cache}/graph{}); \
+         line protocol: [@graph] CLUSTER/PROBE/SWEEP/STATS, LOAD/UNLOAD/SAVE/LIST, \
          BATCH/PING/QUIT/SHUTDOWN",
         stats.graphs,
         server.addr(),
         stats.bytes_resident / (1 << 20),
         match stats.byte_budget {
             Some(b) => format!(" of {} MiB budget", b / (1 << 20)),
+            None => String::new(),
+        },
+        match &store {
+            Some(s) => format!(", store {}", s.dir().display()),
             None => String::new(),
         },
     );

@@ -24,6 +24,10 @@
 //!   cached [`QueryEngine`](parscan_server::QueryEngine)s with in-flight
 //!   request coalescing, batched execution, and a TCP line/JSON protocol
 //!   ([`parscan_server`]; see `docs/PROTOCOL.md`)
+//! - [`store`] — the durable index store: versioned snapshots, a
+//!   checksummed registry manifest, an append-only audit log, and the
+//!   warm-boot path that restarts a server without rebuilding indexes
+//!   ([`parscan_store`])
 //!
 //! ## Quick start
 //!
@@ -50,6 +54,7 @@ pub use parscan_graph as graph;
 pub use parscan_metrics as metrics;
 pub use parscan_parallel as parallel;
 pub use parscan_server as server;
+pub use parscan_store as store;
 
 /// The types most programs need.
 pub mod prelude {
@@ -60,6 +65,8 @@ pub mod prelude {
     };
     pub use parscan_graph::{CsrGraph, VertexId};
     pub use parscan_server::{
-        serve, serve_engine, EngineConfig, GraphRegistry, QueryEngine, RegistryConfig, ServerHandle,
+        serve, serve_engine, serve_with_store, warm_boot, EngineConfig, GraphRegistry, QueryEngine,
+        RegistryConfig, ServerHandle,
     };
+    pub use parscan_store::IndexStore;
 }

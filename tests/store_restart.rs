@@ -1,0 +1,198 @@
+//! Kill-and-restart durability: a `parscan serve --store-dir` process is
+//! SIGKILLed mid-flight and restarted against the same store directory.
+//! The restarted server must warm-boot the previous working set — same
+//! graphs, same default, same query answers — without receiving a single
+//! `LOAD` command, because the snapshots and the manifest survived on
+//! disk.
+//!
+//! This drives the *real* binary (`CARGO_BIN_EXE_parscan`), not an
+//! in-process server: SIGKILL through the process boundary is exactly
+//! the crash the store's temp+fsync+rename discipline exists for.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawn `parscan serve` with `args`, wait for its startup banner,
+    /// and parse the bound address out of it (`--port 0` lets the OS
+    /// pick, so parallel test runs never collide).
+    fn spawn(args: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_parscan"))
+            .arg("serve")
+            .args(args)
+            .args(["--port", "0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn parscan serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before its banner")
+                .expect("read banner");
+            // "serving 1 graph(s) on 127.0.0.1:PORT (~0 MiB resident...".
+            if let Some(rest) = line.split(" on ").nth(1) {
+                if line.starts_with("serving") {
+                    let addr = rest.split_whitespace().next().expect("addr token");
+                    break addr.parse().expect("parse addr");
+                }
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        ServerProc { child, addr }
+    }
+
+    fn request(&self, line: &str) -> String {
+        let mut stream = TcpStream::connect(self.addr).expect("connect");
+        stream
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("write");
+        let mut response = String::new();
+        BufReader::new(stream)
+            .read_line(&mut response)
+            .expect("read");
+        response
+    }
+
+    /// SIGKILL — no shutdown hooks, no flushes; the on-disk store state
+    /// is whatever the durable write discipline already made true.
+    fn kill(mut self) {
+        self.child.kill().expect("kill");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(mut self) {
+        let _ = self.request("SHUTDOWN");
+        let _ = self.child.wait();
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("parscan-restart-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn sigkilled_server_warm_boots_its_working_set() {
+    // Two distinct graphs so the restart must restore a *set*, not one.
+    let graph_a = temp_path("a.txt");
+    let graph_b = temp_path("b.txt");
+    let (ga, _) = parscan::graph::generators::planted_partition(300, 4, 9.0, 1.0, 11);
+    let (gb, _) = parscan::graph::generators::planted_partition(200, 3, 8.0, 1.0, 22);
+    parscan::graph::io::write_edge_list_text(&ga, graph_a.to_str().unwrap()).unwrap();
+    parscan::graph::io::write_edge_list_text(&gb, graph_b.to_str().unwrap()).unwrap();
+    let store_dir = temp_path("store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // ---- First life: load, query, SAVE, then die without warning. ----
+    let server = ServerProc::spawn(&[
+        graph_a.to_str().unwrap(),
+        "--name",
+        "boot",
+        "--store-dir",
+        store_dir.to_str().unwrap(),
+    ]);
+    let side_load = server.request(&format!("LOAD side CACHE=8 {}", graph_b.to_str().unwrap()));
+    assert!(side_load.contains(r#""status":"loaded""#), "{side_load}");
+    let answer_boot = server.request("CLUSTER 3 0.4 FULL");
+    let answer_side = server.request("@side CLUSTER 3 0.4 FULL");
+    assert!(answer_boot.contains(r#""ok":true"#), "{answer_boot}");
+    for save in ["SAVE", "SAVE side"] {
+        let resp = server.request(save);
+        assert!(resp.contains(r#""op":"save""#), "{save}: {resp}");
+    }
+    let list = server.request("LIST");
+    assert!(
+        list.contains(r#""persisted":["boot","side"]"#),
+        "working set persisted before the crash: {list}"
+    );
+    server.kill();
+
+    // ---- Second life: same store, no graph path, zero LOADs. ----
+    let server = ServerProc::spawn(&["--store-dir", store_dir.to_str().unwrap()]);
+    let list = server.request("LIST");
+    assert!(
+        list.contains(r#""default":"boot""#),
+        "pinned manifest entry restores the default name: {list}"
+    );
+    for name in ["\"name\":\"boot\"", "\"name\":\"side\""] {
+        assert!(list.contains(name), "{name} resident after restart: {list}");
+    }
+    // Identical answers to the pre-crash queries, straight from the
+    // warm-booted snapshots (FULL responses carry every label, so this
+    // is bitwise answer equality, not a summary check). Timing fields
+    // differ run to run; compare the payload after the caching fields.
+    let strip = |resp: &str| {
+        let tail = resp.split("\"labels\"").nth(1).map(str::to_string);
+        tail.expect("FULL response carries labels")
+    };
+    assert_eq!(
+        strip(&server.request("CLUSTER 3 0.4 FULL")),
+        strip(&answer_boot)
+    );
+    assert_eq!(
+        strip(&server.request("@side CLUSTER 3 0.4 FULL")),
+        strip(&answer_side)
+    );
+    // The restored per-graph engine config came from the manifest.
+    let stats = server.request("@side STATS");
+    assert!(stats.contains(r#""cache_capacity":8"#), "{stats}");
+
+    // The audit log spans both lives with a strictly increasing sequence:
+    // builds and saves from the first, a BOOT from the second.
+    let events = parscan::store::audit::replay(&store_dir.join("audit.log")).unwrap();
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
+    assert!(
+        kinds.contains(&"SAVE") && kinds.contains(&"BOOT"),
+        "{kinds:?}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&graph_a);
+    let _ = std::fs::remove_file(&graph_b);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn unload_before_crash_is_respected_at_boot() {
+    let graph = temp_path("u.txt");
+    let (g, _) = parscan::graph::generators::planted_partition(200, 3, 8.0, 1.0, 5);
+    parscan::graph::io::write_edge_list_text(&g, graph.to_str().unwrap()).unwrap();
+    let store_dir = temp_path("ustore");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let server = ServerProc::spawn(&[
+        graph.to_str().unwrap(),
+        "--store-dir",
+        store_dir.to_str().unwrap(),
+    ]);
+    server.request(&format!("LOAD gone {}", graph.to_str().unwrap()));
+    server.request("SAVE");
+    server.request("SAVE gone");
+    // The operator explicitly forgets "gone": manifest entry and
+    // snapshot go with it.
+    let resp = server.request("UNLOAD gone");
+    assert!(resp.contains(r#""op":"unload""#), "{resp}");
+    server.kill();
+
+    let server = ServerProc::spawn(&["--store-dir", store_dir.to_str().unwrap()]);
+    let list = server.request("LIST");
+    assert!(
+        !list.contains("\"name\":\"gone\""),
+        "UNLOADed graph must not resurrect: {list}"
+    );
+    assert!(list.contains("\"name\":\"default\""), "{list}");
+    server.shutdown();
+    let _ = std::fs::remove_file(&graph);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
