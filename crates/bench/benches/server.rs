@@ -1,13 +1,16 @@
 //! Serving-layer benchmark: queries/sec cold vs. cache-hot, batch vs.
-//! sequential execution, coalescing under cold-miss contention, and TCP
-//! round-trip latency on the hot path.
+//! sequential execution, coalescing under cold-miss contention, query
+//! latency under a concurrent mutation stream, and TCP round-trip
+//! latency on the hot path.
 //!
 //! Run with `cargo bench -p parscan-bench --bench server`. Scale the
 //! input with `PARSCAN_SCALE` (default 1.0). Emits a human-readable
 //! table on stdout plus a JSON summary written to `BENCH_server.json`
 //! (override with `PARSCAN_BENCH_OUT`) for cross-run tracking.
 
-use parscan_core::{BorderAssignment, IndexConfig, QueryOptions, QueryParams, ScanIndex};
+use parscan_core::{
+    BatchUpdate, BorderAssignment, IndexConfig, QueryOptions, QueryParams, ScanIndex,
+};
 use parscan_graph::generators;
 use parscan_server::{
     serve_engine, BatchExecutor, EngineConfig, GraphRegistry, QueryEngine, Request, Response,
@@ -188,6 +191,105 @@ fn main() {
         single_cold_secs * 1e6,
     );
 
+    // --- Mixed read/write: query latency while a writer streams -------
+    // Epoch publishing means mutations never block readers; what readers
+    // *do* pay is selective cache invalidation — affected ε-classes
+    // recompute on the next request. This scenario prices that: the same
+    // read workload, first alone, then with a writer alternating
+    // delete/restore batches over a slice of edges. Each delete/restore
+    // pair returns the graph to its original edge set, so the engine
+    // ends the scenario serving the same structure it started with.
+    const MIX_READERS: usize = 4;
+    // The window is writer-driven: readers keep sweeping the grid until
+    // the writer has landed this many batches, so the measurement always
+    // spans several delete/restore cycles no matter how the per-apply
+    // cost compares to a cache-hot sweep (milliseconds vs microseconds
+    // at the default scale). The baseline pass uses a fixed sweep count.
+    const MIX_TARGET_BATCHES: u64 = 12;
+    const MIX_BASELINE_ROUNDS: usize = 64;
+    let churn: Vec<(u32, u32)> = {
+        let index = engine.index();
+        index
+            .graph()
+            .canonical_edges()
+            .enumerate()
+            .filter(|(i, _)| i % 97 == 0)
+            .map(|(_, (u, v, _))| (u, v))
+            .take(48)
+            .collect()
+    };
+    let del_batch = BatchUpdate::delete(&churn);
+    let ins_batch = BatchUpdate::insert(&churn);
+    // One reader's workload: repeated sweeps of the grid (for as long as
+    // `keep_going` says), timing each query individually so the mean
+    // reflects per-request latency.
+    let read_pass = |engine: &QueryEngine, keep_going: &(dyn Fn(usize) -> bool + Sync)| {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let mut sweep = 0usize;
+        while keep_going(sweep) {
+            for &p in &points {
+                let start = Instant::now();
+                std::hint::black_box(engine.cluster(p));
+                total += start.elapsed().as_secs_f64();
+                count += 1;
+            }
+            sweep += 1;
+        }
+        (total, count)
+    };
+    let run_readers =
+        |engine: &Arc<QueryEngine>, keep_going: &(dyn Fn(usize) -> bool + Sync)| -> f64 {
+            let (total, count) = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..MIX_READERS)
+                    .map(|_| {
+                        let engine = Arc::clone(engine);
+                        s.spawn(move || read_pass(&engine, keep_going))
+                    })
+                    .collect();
+                handles.into_iter().fold((0.0, 0), |(t, c), h| {
+                    let (dt, dc) = h.join().expect("reader");
+                    (t + dt, c + dc)
+                })
+            });
+            total / count as f64 * 1e6
+        };
+    engine.clear_cache();
+    let mix_baseline_micros = run_readers(&engine, &|sweep| sweep < MIX_BASELINE_ROUNDS);
+    engine.clear_cache();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let applied = std::sync::atomic::AtomicU64::new(0);
+    let epoch_before = engine.stats().epoch;
+    let (mix_under_writes_micros, mix_batches) = std::thread::scope(|s| {
+        let writer = {
+            let (engine, stop, applied) = (&engine, &stop, &applied);
+            let (del_batch, ins_batch) = (&del_batch, &ins_batch);
+            s.spawn(move || {
+                let mut batches = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    engine.apply_update(del_batch).expect("apply delete");
+                    applied.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    engine.apply_update(ins_batch).expect("apply restore");
+                    applied.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    batches += 2;
+                }
+                batches
+            })
+        };
+        let micros = run_readers(&engine, &|_| {
+            applied.load(std::sync::atomic::Ordering::Relaxed) < MIX_TARGET_BATCHES
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        (micros, writer.join().expect("writer"))
+    });
+    let mix_epochs = engine.stats().epoch - epoch_before;
+    let mix_degradation = mix_under_writes_micros / mix_baseline_micros;
+    println!(
+        "mixed r/w: {MIX_READERS} readers, read-only {mix_baseline_micros:.1}µs/query, \
+         under writes {mix_under_writes_micros:.1}µs/query ({mix_degradation:.2}x), \
+         {mix_batches} batches / {mix_epochs} epochs during the window",
+    );
+
     // --- TCP round-trip latency on the hot path -----------------------
     let server = serve_engine(Arc::clone(&engine), "127.0.0.1:0").expect("bind");
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
@@ -219,6 +321,9 @@ fn main() {
             r#""labels_only_speedup":{:.3},"#,
             r#""coalesce_threads":{},"coalesce_computations":{},"coalesce_waits":{},"#,
             r#""coalesce_wall_micros":{:.2},"single_cold_micros":{:.2},"#,
+            r#""mix_readers":{},"mix_baseline_micros":{:.2},"#,
+            r#""mix_under_writes_micros":{:.2},"mix_write_degradation":{:.3},"#,
+            r#""mix_batches_applied":{},"mix_epochs_advanced":{},"#,
             r#""tcp_hot_rtt_micros":{:.2},"cache_hit_rate":{:.4}}}"#
         ),
         n,
@@ -236,6 +341,12 @@ fn main() {
         coalesce_waits,
         coalesce_secs * 1e6,
         single_cold_secs * 1e6,
+        MIX_READERS,
+        mix_baseline_micros,
+        mix_under_writes_micros,
+        mix_degradation,
+        mix_batches,
+        mix_epochs,
         rtt_micros,
         stats.hit_rate(),
     );

@@ -18,6 +18,15 @@
 //!
 //! For small batches this skips the dominant `O(αm)` similarity phase
 //! almost entirely.
+//!
+//! The serving layer consumes the richer [`apply_batch_diff`] entry
+//! point, which additionally reports **how high the damage reaches**:
+//! the maximum similarity (old or new) of any edge whose score changed.
+//! A clustering at `(μ, ε)` depends only on edges with `σ ≥ ε` — cores
+//! are ε-prefix counts, core connectivity unions ε-similar core pairs,
+//! borders attach along ε-similar edges — so every cached result for an
+//! ε-class entirely above that bound is provably still correct and can
+//! survive the update (see `parscan-server`'s engine).
 
 use crate::index::{ScanIndex, SortStrategy};
 use crate::similarity_exact::{open_intersection_value, EdgeSimilarities};
@@ -26,7 +35,7 @@ use parscan_parallel::primitives::{par_for, par_map};
 use parscan_parallel::utils::SyncMutPtr;
 
 /// A batch of edge updates. Weights are ignored on unweighted graphs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct BatchUpdate {
     pub insertions: Vec<(VertexId, VertexId, f32)>,
     pub deletions: Vec<(VertexId, VertexId)>,
@@ -46,33 +55,182 @@ impl BatchUpdate {
             insertions: Vec::new(),
         }
     }
+
+    /// Total number of edge operations carried by the batch.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Largest endpoint id mentioned anywhere in the batch (`None` for
+    /// an empty batch). Callers validate this against `n` *before*
+    /// applying — the patch layer panics on out-of-range ids.
+    pub fn max_endpoint(&self) -> Option<VertexId> {
+        let ins = self.insertions.iter().map(|&(u, v, _)| u.max(v));
+        let del = self.deletions.iter().map(|&(u, v)| u.max(v));
+        ins.chain(del).max()
+    }
+}
+
+/// What [`apply_batch_diff`] did, beyond the new index itself.
+#[derive(Debug)]
+pub struct ApplyOutcome {
+    /// The incrementally maintained index.
+    pub index: ScanIndex,
+    /// Maximum of `max(σ_old, σ_new)` over every edge whose similarity
+    /// changed (deleted edges contribute their old score, inserted edges
+    /// their new one). Any ε strictly above this bound selects the same
+    /// ε-similar edge set before and after the update, hence the same
+    /// clustering. `None` when the graph changed but no per-edge score
+    /// did (e.g. a weight replacement that lands on the same scores).
+    pub max_affected_similarity: Option<f32>,
+    /// Number of canonical edges whose similarity changed (including
+    /// edges that appeared or disappeared).
+    pub changed_edges: usize,
+    /// Effective structural insertions (edges that did not exist).
+    pub inserted: usize,
+    /// Effective deletions (edges that did exist).
+    pub deleted: usize,
+    /// Weight replacements on existing edges (weighted graphs only).
+    pub reweighted: usize,
+}
+
+/// The batch after canonicalization against the patch-layer semantics
+/// (see `parscan_graph::patch`): self-loops dropped, duplicate
+/// insertions keep the first occurrence, an insertion wins over a
+/// deletion of the same pair — and, on top of that, ops that would not
+/// change `graph` at all are filtered out.
+struct EffectiveBatch {
+    insertions: Vec<(VertexId, VertexId, f32)>,
+    deletions: Vec<(VertexId, VertexId)>,
+    inserted: usize,
+    reweighted: usize,
+}
+
+fn effective_batch(graph: &CsrGraph, batch: &BatchUpdate) -> EffectiveBatch {
+    let n = graph.num_vertices() as VertexId;
+    let canon = |u: VertexId, v: VertexId| if u < v { (u, v) } else { (v, u) };
+
+    let mut ins: Vec<(VertexId, VertexId, f32)> = batch
+        .insertions
+        .iter()
+        .filter(|&&(u, v, _)| u != v)
+        .map(|&(u, v, w)| {
+            assert!(u < n && v < n, "insertion endpoint out of range");
+            let (a, b) = canon(u, v);
+            (a, b, w)
+        })
+        .collect();
+    // Stable sort + dedup keeps the *first* occurrence of a duplicated
+    // pair, matching the patch layer.
+    ins.sort_by_key(|&(a, b, _)| (a, b));
+    ins.dedup_by_key(|&mut (a, b, _)| (a, b));
+
+    let mut del: Vec<(VertexId, VertexId)> = batch
+        .deletions
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| {
+            assert!(u < n && v < n, "deletion endpoint out of range");
+            canon(u, v)
+        })
+        .collect();
+    del.sort_unstable();
+    del.dedup();
+    // Insert wins over delete of the same pair within one batch.
+    del.retain(|&(a, b)| {
+        ins.binary_search_by_key(&(a, b), |&(x, y, _)| (x, y))
+            .is_err()
+    });
+
+    let mut inserted = 0usize;
+    let mut reweighted = 0usize;
+    ins.retain(|&(a, b, w)| match graph.slot_of(a, b) {
+        None => {
+            inserted += 1;
+            true
+        }
+        // Re-inserting an existing edge only matters on weighted graphs
+        // where it replaces the weight with a different value.
+        Some(s) if graph.is_weighted() && graph.slot_weight(s) != w => {
+            reweighted += 1;
+            true
+        }
+        Some(_) => false,
+    });
+    del.retain(|&(a, b)| graph.slot_of(a, b).is_some());
+
+    EffectiveBatch {
+        insertions: ins,
+        deletions: del,
+        inserted,
+        reweighted,
+    }
 }
 
 /// Apply a batch of updates to an index, recomputing only affected
 /// similarities. Returns the updated index (the old one is consumed).
+/// An effectively empty batch returns the original index untouched —
+/// no graph splice, no similarity pass, no order rebuild.
 pub fn apply_batch(index: ScanIndex, batch: &BatchUpdate) -> ScanIndex {
+    match apply_batch_diff(&index, batch) {
+        Some(outcome) => outcome.index,
+        None => index,
+    }
+}
+
+/// Apply a batch to `index`, returning the new index plus the change
+/// summary the serving layer needs for selective cache invalidation.
+/// Returns `None` — and does **no work past classification** — when the
+/// batch is effectively empty: every insertion already present (with
+/// the same weight, on weighted graphs), every deletion absent, every
+/// op a self-loop, or the batch literally empty.
+///
+/// # Panics
+/// Panics if any endpoint is `≥ n` (validate with
+/// [`BatchUpdate::max_endpoint`] first when the batch is untrusted).
+pub fn apply_batch_diff(index: &ScanIndex, batch: &BatchUpdate) -> Option<ApplyOutcome> {
+    let old_graph = index.graph();
+    let eff = effective_batch(old_graph, batch);
+    if eff.insertions.is_empty() && eff.deletions.is_empty() {
+        return None;
+    }
     let measure = index.measure();
-    let old_sims = index.similarities().clone();
-    let old_graph = index.into_graph();
+    let old_sims = index.similarities();
     let n = old_graph.num_vertices();
 
     // Splice the batch into the CSR directly (untouched adjacency lists
     // are copied wholesale) instead of re-sorting all 2m entries.
-    let new_graph = parscan_graph::patch::patch(&old_graph, &batch.insertions, &batch.deletions);
+    let new_graph = parscan_graph::patch::patch(old_graph, &eff.insertions, &eff.deletions);
 
-    // Touched vertices: endpoints of any inserted/deleted edge.
+    // Touched vertices: endpoints of any *effective* op. No-op entries
+    // (already-present edges, absent deletions) must not widen the
+    // recompute set — or an all-no-op batch would still pay the orders.
     let mut touched = vec![false; n];
-    for &(u, v, _) in &batch.insertions {
+    for &(u, v, _) in &eff.insertions {
         touched[u as usize] = true;
         touched[v as usize] = true;
     }
-    for &(u, v) in &batch.deletions {
+    for &(u, v) in &eff.deletions {
         touched[u as usize] = true;
         touched[v as usize] = true;
     }
 
-    let sims = incremental_similarities(&old_graph, &old_sims, &new_graph, &touched, measure);
-    ScanIndex::from_similarities(new_graph, sims, measure, SortStrategy::Integer)
+    let sims = incremental_similarities(old_graph, old_sims, &new_graph, &touched, measure);
+    let (max_affected_similarity, changed_edges) =
+        affected_ceiling(old_graph, old_sims, &new_graph, &sims);
+    let index = ScanIndex::from_similarities(new_graph, sims, measure, SortStrategy::Integer);
+    Some(ApplyOutcome {
+        index,
+        max_affected_similarity,
+        changed_edges,
+        inserted: eff.inserted,
+        deleted: eff.deletions.len(),
+        reweighted: eff.reweighted,
+    })
 }
 
 /// Recompute similarities for edges incident to `touched` vertices; copy
@@ -139,6 +297,80 @@ fn incremental_similarities(
         }
     });
     EdgeSimilarities::from_per_slot(sims)
+}
+
+/// Compare old and new per-edge similarities and report `(θ, changed)`:
+/// the maximum of `max(σ_old, σ_new)` over changed edges — the ceiling
+/// below which clusterings may differ — and how many canonical edges
+/// changed. Edges copied by the incremental pass compare bitwise equal
+/// and contribute nothing, so the merge is cheap: one forward walk over
+/// both adjacency arrays.
+fn affected_ceiling(
+    old_graph: &CsrGraph,
+    old_sims: &EdgeSimilarities,
+    new_graph: &CsrGraph,
+    new_sims: &EdgeSimilarities,
+) -> (Option<f32>, usize) {
+    let n = new_graph.num_vertices();
+    let per_vertex: Vec<(f32, usize)> = par_map(n, 64, |a| {
+        let a = a as VertexId;
+        let old_range = old_graph.slot_range(a);
+        let new_range = new_graph.slot_range(a);
+        let (mut i, mut j) = (old_range.start, new_range.start);
+        let mut ceiling = f32::NEG_INFINITY;
+        let mut changed = 0usize;
+        while i < old_range.end && j < new_range.end {
+            let ob = old_graph.slot_neighbor(i);
+            let nb = new_graph.slot_neighbor(j);
+            if ob == nb {
+                if ob > a {
+                    let (o, s) = (old_sims.slot(i), new_sims.slot(j));
+                    if o != s {
+                        ceiling = ceiling.max(o.max(s));
+                        changed += 1;
+                    }
+                }
+                i += 1;
+                j += 1;
+            } else if ob < nb {
+                if ob > a {
+                    // Deleted edge: its old score is the reach of its loss.
+                    ceiling = ceiling.max(old_sims.slot(i));
+                    changed += 1;
+                }
+                i += 1;
+            } else {
+                if nb > a {
+                    // Inserted edge: its new score is the reach of its gain.
+                    ceiling = ceiling.max(new_sims.slot(j));
+                    changed += 1;
+                }
+                j += 1;
+            }
+        }
+        while i < old_range.end {
+            if old_graph.slot_neighbor(i) > a {
+                ceiling = ceiling.max(old_sims.slot(i));
+                changed += 1;
+            }
+            i += 1;
+        }
+        while j < new_range.end {
+            if new_graph.slot_neighbor(j) > a {
+                ceiling = ceiling.max(new_sims.slot(j));
+                changed += 1;
+            }
+            j += 1;
+        }
+        (ceiling, changed)
+    });
+    let mut ceiling = f32::NEG_INFINITY;
+    let mut changed = 0usize;
+    for &(c, k) in &per_vertex {
+        ceiling = ceiling.max(c);
+        changed += k;
+    }
+    ((changed > 0).then_some(ceiling), changed)
 }
 
 #[cfg(test)]
@@ -236,5 +468,93 @@ mod tests {
         let index = ScanIndex::build(g, rebuild_config());
         let updated = apply_batch(index, &BatchUpdate::insert(&[(3, 3)]));
         assert_eq!(updated.graph().num_edges(), 9);
+    }
+
+    #[test]
+    fn effectively_empty_batch_returns_the_original_index_without_rebuilding() {
+        // Regression: the update path used to rebuild the neighbor/core
+        // orders even when every op in the batch was a no-op. Observe
+        // identity through the similarity buffer's address: a rebuild
+        // would allocate fresh arrays.
+        let g = generators::erdos_renyi(120, 600, 11);
+        let existing: Vec<(u32, u32)> = g
+            .canonical_edges()
+            .map(|(u, v, _)| (u, v))
+            .take(4)
+            .collect();
+        let index = ScanIndex::build(g, rebuild_config());
+        let before_ptr = index.similarities().as_slice().as_ptr();
+
+        let batch = BatchUpdate {
+            // Already present (unweighted: the weight token is ignored),
+            // plus a self-loop.
+            insertions: existing
+                .iter()
+                .map(|&(u, v)| (u, v, 1.0))
+                .chain([(5, 5, 1.0)])
+                .collect(),
+            // Absent edge and a duplicate of it.
+            deletions: vec![(0, 119), (119, 0)],
+        };
+        assert!(index.graph().slot_of(0, 119).is_none(), "test premise");
+        assert!(apply_batch_diff(&index, &batch).is_none());
+        let updated = apply_batch(index, &batch);
+        assert_eq!(updated.similarities().as_slice().as_ptr(), before_ptr);
+    }
+
+    #[test]
+    fn diff_reports_the_affected_similarity_ceiling() {
+        // Two triangles joined by nothing; delete an edge inside one.
+        // Every changed score lives in that triangle, so θ is bounded by
+        // its scores and the other triangle keeps every score bitwise.
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        let g = parscan_graph::from_edges(6, &edges);
+        let index = ScanIndex::build(g, rebuild_config());
+        let outcome = apply_batch_diff(&index, &BatchUpdate::delete(&[(0, 1)]))
+            .expect("a real deletion is never a no-op");
+        let theta = outcome.max_affected_similarity.expect("scores changed");
+        assert_eq!(outcome.deleted, 1);
+        assert_eq!(outcome.inserted, 0);
+        assert!(outcome.changed_edges >= 3, "{:?}", outcome.changed_edges);
+        // The untouched triangle's scores sit at the maximum similarity
+        // of a triangle graph; deleting (0,1) cannot reach them, so θ
+        // must stay at or below that value and above zero.
+        assert!(theta > 0.0 && theta <= 1.0);
+        // Differential check: every edge of the untouched triangle keeps
+        // its score bitwise.
+        let old = index.similarities();
+        let new = outcome.index.similarities();
+        for &(u, v) in &[(3u32, 4u32), (4, 5), (3, 5)] {
+            let os = index.graph().slot_of(u, v).unwrap();
+            let ns = outcome.index.graph().slot_of(u, v).unwrap();
+            assert_eq!(old.slot(os).to_bits(), new.slot(ns).to_bits());
+        }
+    }
+
+    #[test]
+    fn weight_replacement_is_effective_only_when_the_weight_changes() {
+        let (g, _) = generators::weighted_planted_partition(80, 2, 8.0, 1.0, 9);
+        let (u, v, s) = g.canonical_edges().next().unwrap();
+        let w = g.slot_weight(s);
+        let index = ScanIndex::build(g, rebuild_config());
+
+        // Same weight: a no-op.
+        let same = BatchUpdate {
+            insertions: vec![(u, v, w)],
+            deletions: vec![],
+        };
+        assert!(apply_batch_diff(&index, &same).is_none());
+
+        // Different weight: a reweight, and the edge count is unchanged.
+        let diff = BatchUpdate {
+            insertions: vec![(u, v, w + 1.0)],
+            deletions: vec![],
+        };
+        let outcome = apply_batch_diff(&index, &diff).expect("weight changed");
+        assert_eq!(outcome.reweighted, 1);
+        assert_eq!(outcome.inserted, 0);
+        assert_eq!(outcome.index.graph().num_edges(), index.graph().num_edges());
+        let ns = outcome.index.graph().slot_of(u, v).unwrap();
+        assert_eq!(outcome.index.graph().slot_weight(ns), w + 1.0);
     }
 }

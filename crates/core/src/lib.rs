@@ -43,10 +43,12 @@ pub mod query;
 pub mod similarity;
 pub mod similarity_exact;
 pub mod sweep;
+pub mod test_support;
 
 pub use clustering::{Clustering, VertexRole, UNCLUSTERED};
 pub use core_order::CoreOrder;
 pub use doubling::doubling_search_prefix;
+pub use dynamic::{apply_batch, apply_batch_diff, ApplyOutcome, BatchUpdate};
 pub use index::{ExactStrategy, IndexConfig, ScanIndex, SortStrategy};
 pub use neighbor_order::NeighborOrder;
 pub use query::{

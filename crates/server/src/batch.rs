@@ -209,7 +209,8 @@ impl<'r> BatchExecutor<'r> {
                 | Request::Shutdown
                 | Request::Load { .. }
                 | Request::Unload { .. }
-                | Request::Save { .. } => Response::Error {
+                | Request::Save { .. }
+                | Request::Apply { .. } => Response::Error {
                     message: "command not allowed inside a batch".into(),
                 },
             })

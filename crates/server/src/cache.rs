@@ -133,6 +133,20 @@ impl<K: Hash + Eq + Clone, V: Clone> LruShard<K, V> {
         self.head = NIL;
         self.tail = NIL;
     }
+
+    /// Remove and return every entry, least recently used first (so a
+    /// caller reinserting in order reproduces the recency ranking).
+    fn drain_lru_to_mru(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.tail;
+        while i != NIL {
+            let e = &self.slab[i];
+            out.push((e.key.clone(), e.value.clone()));
+            i = e.prev;
+        }
+        self.clear();
+        out
+    }
 }
 
 /// A thread-safe LRU cache split into independently locked shards.
@@ -198,6 +212,39 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         for shard in &self.shards {
             Self::lock(shard).clear();
         }
+    }
+
+    /// Rewrite every key through `f`: entries mapped to `Some(new_key)`
+    /// survive under the new key, entries mapped to `None` are dropped.
+    /// Returns `(dropped, kept)`.
+    ///
+    /// Because a shard is chosen by key *hash*, a rewritten key may
+    /// belong to a different shard than the original, so survivors are
+    /// drained out of every shard first and reinserted through normal
+    /// placement (in LRU→MRU order, preserving per-shard recency).
+    /// Concurrent `get`/`insert` calls interleave safely: the worst
+    /// case is an entry inserted under a not-rewritten key mid-drain,
+    /// which simply ages out — callers for whom that matters (the query
+    /// engine's epoch bump) make stale keys unreachable instead of
+    /// relying on this method being atomic.
+    pub fn rekey(&self, f: impl Fn(&K) -> Option<K>) -> (usize, usize) {
+        let (mut dropped, mut kept) = (0usize, 0usize);
+        let mut moved: Vec<(K, V)> = Vec::new();
+        for shard in &self.shards {
+            for (key, value) in Self::lock(shard).drain_lru_to_mru() {
+                match f(&key) {
+                    Some(new_key) => {
+                        moved.push((new_key, value));
+                        kept += 1;
+                    }
+                    None => dropped += 1,
+                }
+            }
+        }
+        for (key, value) in moved {
+            self.insert(key, value);
+        }
+        (dropped, kept)
     }
 }
 
@@ -276,6 +323,40 @@ mod tests {
             }
         });
         assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn rekey_moves_survivors_across_shards_and_drops_the_rest() {
+        // Keys are (epoch, class); rekeying bumps the epoch, which
+        // changes the hash and hence (usually) the shard.
+        let cache: ShardedLru<(u64, u32), u32> = ShardedLru::new(32, 4);
+        for class in 0..16u32 {
+            cache.insert((1, class), class * 10);
+        }
+        let (dropped, kept) =
+            cache.rekey(|&(epoch, class)| (class % 2 == 0).then_some((epoch + 1, class)));
+        assert_eq!((dropped, kept), (8, 8));
+        assert_eq!(cache.len(), 8);
+        for class in 0..16u32 {
+            assert_eq!(cache.get(&(1, class)), None, "old epoch is gone");
+            let expect = (class % 2 == 0).then_some(class * 10);
+            assert_eq!(cache.get(&(2, class)), expect);
+        }
+    }
+
+    #[test]
+    fn rekey_preserves_recency_within_a_shard() {
+        let cache: ShardedLru<(u64, u32), u32> = ShardedLru::new(3, 1);
+        for class in 0..3u32 {
+            cache.insert((1, class), class);
+        }
+        // Touch 0 so it is the MRU going into the rekey.
+        assert_eq!(cache.get(&(1, 0)), Some(0));
+        cache.rekey(|&(e, c)| Some((e + 1, c)));
+        // Inserting two fresh entries must evict 1 then 2, never 0.
+        cache.insert((2, 10), 10);
+        cache.insert((2, 11), 11);
+        assert_eq!(cache.get(&(2, 0)), Some(0), "MRU survived the evictions");
     }
 
     #[test]

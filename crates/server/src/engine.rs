@@ -30,34 +30,40 @@
 //! slot instead of recomputing. Followers are counted as cache hits
 //! (they did not compute) and additionally as [`EngineStats::coalesced_waits`].
 //!
-//! # Examples
+//! # Live mutation: epoch publishing
 //!
-//! ```
-//! use parscan_server::{EngineConfig, QueryEngine};
-//! use parscan_core::{IndexConfig, QueryParams, ScanIndex};
-//! use std::sync::Arc;
+//! [`QueryEngine::apply_update`] splices a [`BatchUpdate`] into the
+//! resident index via the core crate's incremental maintenance and
+//! *publishes* the result: the engine holds its index inside an
+//! epoch-stamped, swappable cell (`Published`, behind an `RwLock`
+//! whose write section is two pointer stores). Every query path takes
+//! one snapshot `Arc` up front and uses it throughout, so in-flight
+//! readers finish on the epoch they started on — a writer never blocks
+//! them and never tears their view. Writers serialize among themselves
+//! on a separate mutex; the heavy lifting (similarity recomputation,
+//! order rebuilds) runs on the shared worker pool *outside* any lock
+//! the read path takes.
 //!
-//! let (g, _) = parscan_graph::generators::planted_partition(200, 4, 9.0, 1.0, 1);
-//! let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
-//! let engine = QueryEngine::new(index, EngineConfig::default());
-//!
-//! // Cold miss computes; the repeat (and any ε in the same class) hits.
-//! let cold = engine.cluster(QueryParams::new(3, 0.4));
-//! let hot = engine.cluster(QueryParams::new(3, 0.4));
-//! assert!(!cold.cached && hot.cached);
-//! assert!(Arc::ptr_eq(&cold.clustering, &hot.clustering));
-//! assert_eq!(engine.stats().cache_hits, 1);
-//! ```
+//! Cache entries are keyed by epoch, and an update invalidates
+//! *selectively*: a clustering at `(μ, ε)` depends only on edges with
+//! `σ ≥ ε`, so every cached ε-class whose interval lies entirely above
+//! the update's [affected-similarity ceiling](parscan_core::ApplyOutcome::max_affected_similarity)
+//! is still correct. Those entries are re-keyed to the new epoch (their
+//! class index remapped through the new breakpoint table); everything
+//! else is dropped. Late inserts from readers still on the old epoch
+//! land under old-epoch keys, which no new reader can form — they age
+//! out of the LRU instead of ever being served stale.
 
 use crate::cache::ShardedLru;
-use crate::lock_mutex;
+use crate::{lock_mutex, read_lock, write_lock};
 use parscan_core::{
-    BorderAssignment, Clustering, QueryOptions, QueryParams, ScanIndex, VertexProbe,
+    apply_batch_diff, BatchUpdate, BorderAssignment, Clustering, QueryOptions, QueryParams,
+    ScanIndex, VertexProbe,
 };
 use parscan_graph::VertexId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
 /// Engine construction parameters.
@@ -83,13 +89,35 @@ impl Default for EngineConfig {
     }
 }
 
-/// Cache key: μ and the ε equivalence class (plus the border policy,
-/// which changes the answer).
+/// Cache key: the publication epoch, μ, and the ε equivalence class
+/// (plus the border policy, which changes the answer). Keying by epoch
+/// makes entries from superseded indexes unreachable the moment a new
+/// epoch publishes — even a racing insert from a reader that snapshotted
+/// the old epoch can only create a key no current reader asks for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct CacheKey {
+    epoch: u64,
     mu: u32,
     eps_class: u32,
     most_similar: bool,
+}
+
+/// One immutable publication of the serving state: the index, its ε
+/// breakpoints, and the epoch stamp. Readers clone the `Arc` once per
+/// request and never look back at the engine's cell.
+struct Published {
+    index: Arc<ScanIndex>,
+    /// Sorted distinct similarity values (the ε breakpoints).
+    breakpoints: Vec<f32>,
+    epoch: u64,
+}
+
+impl Published {
+    fn snap_epsilon(&self, epsilon: f32) -> (u32, f32) {
+        let class = self.breakpoints.partition_point(|&s| s < epsilon);
+        let snapped = self.breakpoints.get(class).copied().unwrap_or(epsilon);
+        (class as u32, snapped)
+    }
 }
 
 /// Monotonically increasing serving counters.
@@ -101,6 +129,9 @@ struct Counters {
     coalesced_waits: AtomicU64,
     probe_requests: AtomicU64,
     compute_micros: AtomicU64,
+    updates_applied: AtomicU64,
+    cache_invalidated: AtomicU64,
+    cache_retained: AtomicU64,
 }
 
 /// A point-in-time copy of the engine's counters.
@@ -120,6 +151,14 @@ pub struct EngineStats {
     pub compute_micros: u64,
     pub cache_len: usize,
     pub cache_capacity: usize,
+    /// The currently published index epoch (0 until the first mutation).
+    pub epoch: u64,
+    /// Mutation batches that changed the index (no-op batches excluded).
+    pub updates_applied: u64,
+    /// Cache entries dropped by updates (their ε-class similarities changed).
+    pub cache_invalidated: u64,
+    /// Cache entries that survived updates (ε-class provably unaffected).
+    pub cache_retained: u64,
 }
 
 impl EngineStats {
@@ -151,6 +190,35 @@ pub struct ClusterOutcome {
     /// The class's canonical ε — the smallest breakpoint ≥ the requested
     /// ε, or the request itself when ε exceeds every similarity.
     pub eps_snapped: f32,
+    /// The index epoch this query ran against.
+    pub epoch: u64,
+}
+
+/// Outcome of one [`QueryEngine::apply_update`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateOutcome {
+    /// The epoch now serving (unchanged when `changed` is false).
+    pub epoch: u64,
+    /// Whether the batch changed the index at all. An effectively empty
+    /// batch (every op a no-op) publishes nothing and keeps every cache
+    /// entry.
+    pub changed: bool,
+    /// Effective structural insertions / deletions / weight replacements.
+    pub inserted: usize,
+    pub deleted: usize,
+    pub reweighted: usize,
+    /// Canonical edges whose similarity changed.
+    pub changed_edges: usize,
+    /// Cache entries dropped because their ε-class was affected.
+    pub cache_dropped: usize,
+    /// Cache entries retained (re-keyed to the new epoch).
+    pub cache_kept: usize,
+    /// Graph size after the update.
+    pub n: usize,
+    pub m: usize,
+    /// Wall-clock microseconds spent applying (incremental maintenance +
+    /// publication + cache surgery).
+    pub micros: u64,
 }
 
 /// The once-cell a coalescing leader publishes through. `result` stays
@@ -196,23 +264,30 @@ impl Drop for LeaderGuard<'_> {
 /// A resident index serving concurrent `(μ, ε)` queries through a
 /// quantized result cache.
 pub struct QueryEngine {
-    index: Arc<ScanIndex>,
+    /// The epoch-stamped serving state. Readers take the read lock for
+    /// exactly one `Arc` clone; writers swap the `Arc` under the write
+    /// lock — two pointer stores, so the swap never stalls the read path
+    /// behind index construction.
+    published: RwLock<Arc<Published>>,
+    /// Serializes mutators ([`Self::apply_update`]) against each other
+    /// without touching the read path.
+    update_lock: Mutex<()>,
     cache: ShardedLru<CacheKey, Arc<Clustering>>,
     /// Keys whose clustering is being computed right now; see the module
     /// docs on in-flight coalescing.
     inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
-    /// Sorted distinct similarity values (the ε breakpoints).
-    breakpoints: Vec<f32>,
     border: BorderAssignment,
     counters: Counters,
 }
 
 impl std::fmt::Debug for QueryEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.published();
         f.debug_struct("QueryEngine")
-            .field("vertices", &self.index.graph().num_vertices())
-            .field("edges", &self.index.graph().num_edges())
-            .field("breakpoints", &self.breakpoints.len())
+            .field("vertices", &p.index.graph().num_vertices())
+            .field("edges", &p.index.graph().num_edges())
+            .field("breakpoints", &p.breakpoints.len())
+            .field("epoch", &p.epoch)
             .finish_non_exhaustive()
     }
 }
@@ -224,10 +299,14 @@ impl QueryEngine {
         // installing a warm-booted graph is sort-free.
         let breakpoints = index.similarities().breakpoints().to_vec();
         QueryEngine {
-            index,
+            published: RwLock::new(Arc::new(Published {
+                index,
+                breakpoints,
+                epoch: 0,
+            })),
+            update_lock: Mutex::new(()),
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
             inflight: Mutex::new(HashMap::new()),
-            breakpoints,
             border: config.border,
             counters: Counters::default(),
         }
@@ -238,22 +317,33 @@ impl QueryEngine {
         Self::new(index, EngineConfig::default())
     }
 
+    /// One consistent snapshot of the serving state.
+    fn published(&self) -> Arc<Published> {
+        Arc::clone(&read_lock(&self.published))
+    }
+
+    /// The currently published index. Callers get an owned `Arc`
+    /// snapshot: it stays valid (and internally consistent) for as long
+    /// as they hold it, even across concurrent [`Self::apply_update`]s.
     #[inline]
-    pub fn index(&self) -> &Arc<ScanIndex> {
-        &self.index
+    pub fn index(&self) -> Arc<ScanIndex> {
+        Arc::clone(&self.published().index)
+    }
+
+    /// The currently published epoch (0 until the first mutation).
+    pub fn epoch(&self) -> u64 {
+        self.published().epoch
     }
 
     /// Number of ε equivalence classes (distinct similarity values).
     pub fn num_breakpoints(&self) -> usize {
-        self.breakpoints.len()
+        self.published().breakpoints.len()
     }
 
     /// Snap ε to its equivalence class: the class index and its
     /// canonical (largest-result-preserving) representative.
     pub fn snap_epsilon(&self, epsilon: f32) -> (u32, f32) {
-        let class = self.breakpoints.partition_point(|&s| s < epsilon);
-        let snapped = self.breakpoints.get(class).copied().unwrap_or(epsilon);
-        (class as u32, snapped)
+        self.published().snap_epsilon(epsilon)
     }
 
     /// Serve one clustering query through the cache. This is the
@@ -274,14 +364,21 @@ impl QueryEngine {
     /// untouched (internal work must not skew client-facing serving
     /// stats); `compute_micros` accumulates whenever a computation ran,
     /// since it measures computation, not traffic.
+    ///
+    /// The published snapshot is taken once, up front: epoch, breakpoint
+    /// table, and index all come from it, so a concurrent update can
+    /// never mix state from two publications inside one query.
     fn cluster_inner(&self, params: QueryParams, use_cache: bool, count: bool) -> ClusterOutcome {
         let start = Instant::now();
-        let (eps_class, eps_snapped) = self.snap_epsilon(params.epsilon);
+        let published = self.published();
+        let (eps_class, eps_snapped) = published.snap_epsilon(params.epsilon);
         let key = CacheKey {
+            epoch: published.epoch,
             mu: params.mu,
             eps_class,
             most_similar: self.border == BorderAssignment::MostSimilar,
         };
+        let epoch = published.epoch;
         let finish = |clustering: Arc<Clustering>, cached: bool, coalesced: bool| ClusterOutcome {
             clustering,
             cached,
@@ -289,9 +386,10 @@ impl QueryEngine {
             micros: start.elapsed().as_micros() as u64,
             eps_class,
             eps_snapped,
+            epoch,
         };
         if !use_cache {
-            let clustering = Arc::new(self.compute(params));
+            let clustering = Arc::new(self.compute(&published.index, params));
             let out = finish(clustering, false, false);
             self.counters
                 .compute_micros
@@ -313,7 +411,7 @@ impl QueryEngine {
                 }
                 return finish(hit, true, false);
             }
-            let clustering = Arc::new(self.compute(params));
+            let clustering = Arc::new(self.compute(&published.index, params));
             self.cache.insert(key, Arc::clone(&clustering));
             if count {
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -388,7 +486,7 @@ impl QueryEngine {
                 key,
                 slot,
             };
-            let clustering = Arc::new(self.compute(params));
+            let clustering = Arc::new(self.compute(&published.index, params));
             self.cache.insert(key, Arc::clone(&clustering));
             {
                 let mut state = lock_mutex(&guard.slot.state);
@@ -407,24 +505,146 @@ impl QueryEngine {
         }
     }
 
-    /// Run the clustering computation itself (no cache, no counters).
-    fn compute(&self, params: QueryParams) -> Clustering {
+    /// Run the clustering computation itself (no cache, no counters)
+    /// against one publication's index.
+    fn compute(&self, index: &ScanIndex, params: QueryParams) -> Clustering {
         let opts = QueryOptions {
             border: self.border,
             ..Default::default()
         };
-        self.index.cluster_with_opts(params, opts)
+        index.cluster_with_opts(params, opts)
+    }
+
+    /// Apply a batch of edge mutations and publish the updated index as
+    /// a new epoch. See the module docs: in-flight readers finish on
+    /// their snapshot, unaffected cache ε-classes survive (re-keyed),
+    /// affected ones are dropped. Concurrent writers serialize; readers
+    /// are never blocked by any phase of this call.
+    ///
+    /// An effectively empty batch (every op a no-op against the current
+    /// graph) is detected before any recomputation and reported with
+    /// `changed: false` — the epoch and the cache stay as they were.
+    ///
+    /// Errors on out-of-range endpoints (mutations cannot grow the
+    /// vertex set).
+    pub fn apply_update(&self, batch: &BatchUpdate) -> Result<UpdateOutcome, String> {
+        let start = Instant::now();
+        let _writers = lock_mutex(&self.update_lock);
+        let current = self.published();
+        let n = current.index.graph().num_vertices();
+        if let Some(max) = batch.max_endpoint() {
+            if max as usize >= n {
+                return Err(format!("edge endpoint {max} out of range (n = {n})"));
+            }
+        }
+        let Some(diff) = apply_batch_diff(&current.index, batch) else {
+            return Ok(UpdateOutcome {
+                epoch: current.epoch,
+                changed: false,
+                inserted: 0,
+                deleted: 0,
+                reweighted: 0,
+                changed_edges: 0,
+                cache_dropped: 0,
+                cache_kept: self.cache.len(),
+                n,
+                m: current.index.graph().num_edges(),
+                micros: start.elapsed().as_micros() as u64,
+            });
+        };
+        let next = Arc::new(Published {
+            breakpoints: diff.index.similarities().breakpoints().to_vec(),
+            epoch: current.epoch + 1,
+            index: Arc::new(diff.index),
+        });
+        let (next_n, next_m) = (
+            next.index.graph().num_vertices(),
+            next.index.graph().num_edges(),
+        );
+        // Publish before touching the cache: from this instant new
+        // readers snapshot the new epoch and can only form new-epoch
+        // keys, so nothing they do can resurrect a stale entry.
+        *write_lock(&self.published) = Arc::clone(&next);
+
+        // Selective invalidation. θ bounds the reach of the update: every
+        // changed edge has old and new similarity ≤ θ, so an ε-class
+        // whose interval lower bound is ≥ θ selects identical ε-similar
+        // edge sets before and after — its cached clustering is still
+        // exact. Breakpoint values above θ are identical in both tables
+        // (only scores ≤ θ changed), so surviving classes remap by
+        // locating their old upper-bound breakpoint in the new table.
+        let theta = diff.max_affected_similarity;
+        let (old_bp, new_bp) = (&current.breakpoints, &next.breakpoints);
+        let (dropped, kept) = self.cache.rekey(|key| {
+            if key.epoch != current.epoch {
+                // A stray from an even older epoch (racing reader insert
+                // that lost an earlier rekey): unreachable, drop it.
+                return None;
+            }
+            let class = key.eps_class as usize;
+            let keep = match theta {
+                // The graph changed but no similarity did (a weight
+                // replacement landing on identical scores): every
+                // clustering is unaffected.
+                None => true,
+                Some(theta) => match class.checked_sub(1).and_then(|c| old_bp.get(c)) {
+                    Some(&lower) => lower >= theta,
+                    // Class 0 reaches down to ε = 0; θ > 0 always
+                    // overlaps it.
+                    None => false,
+                },
+            };
+            if !keep {
+                return None;
+            }
+            let eps_class = match old_bp.get(class) {
+                // Interior class: its upper-bound breakpoint survives
+                // verbatim in the new table; find it there.
+                Some(&upper) => new_bp.partition_point(|&s| s < upper) as u32,
+                // The class above every similarity maps to its
+                // counterpart.
+                None => new_bp.len() as u32,
+            };
+            Some(CacheKey {
+                epoch: next.epoch,
+                eps_class,
+                ..*key
+            })
+        });
+        self.counters
+            .updates_applied
+            .fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .cache_invalidated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.counters
+            .cache_retained
+            .fetch_add(kept as u64, Ordering::Relaxed);
+        Ok(UpdateOutcome {
+            epoch: next.epoch,
+            changed: true,
+            inserted: diff.inserted,
+            deleted: diff.deleted,
+            reweighted: diff.reweighted,
+            changed_edges: diff.changed_edges,
+            cache_dropped: dropped,
+            cache_kept: kept,
+            n: next_n,
+            m: next_m,
+            micros: start.elapsed().as_micros() as u64,
+        })
     }
 
     /// The cheap per-vertex lookup path ([`ScanIndex::probe_vertex`]):
     /// degree-bounded work, never touches the cache.
     pub fn probe(&self, vertex: VertexId, params: QueryParams) -> Result<VertexProbe, String> {
         self.counters.probe_requests.fetch_add(1, Ordering::Relaxed);
-        let n = self.index.graph().num_vertices();
+        let index = self.index();
+        let n = index.graph().num_vertices();
         if (vertex as usize) >= n {
             return Err(format!("vertex {vertex} out of range (n = {n})"));
         }
-        Ok(self.index.probe_vertex(vertex, params))
+        Ok(index.probe_vertex(vertex, params))
     }
 
     /// Modularity-scored sweep over the (μ, ε) grid with the given ε
@@ -444,7 +664,8 @@ impl QueryEngine {
         if !(0.005..1.0).contains(&eps_step) {
             return Err(format!("eps_step must be in [0.005, 1), got {eps_step}"));
         }
-        let g = self.index.graph();
+        let index = self.index();
+        let g = index.graph();
         let max_mu = (g.max_degree() as u32 + 1).max(2);
         // Exact multiples (not repeated addition, which drifts in f32) so
         // the grid matches what SweepGrid-based callers evaluate.
@@ -492,6 +713,10 @@ impl QueryEngine {
             compute_micros: self.counters.compute_micros.load(Ordering::Relaxed),
             cache_len: self.cache.len(),
             cache_capacity: self.cache.capacity(),
+            epoch: self.epoch(),
+            updates_applied: self.counters.updates_applied.load(Ordering::Relaxed),
+            cache_invalidated: self.counters.cache_invalidated.load(Ordering::Relaxed),
+            cache_retained: self.counters.cache_retained.load(Ordering::Relaxed),
         }
     }
 
@@ -737,5 +962,158 @@ mod tests {
         assert!(s.hit_rate() > 0.6);
         e.clear_cache();
         assert_eq!(e.stats().cache_len, 0);
+    }
+
+    /// An engine whose invalidation frontier is analytically known: a K4
+    /// clique (every σ = 1.0) in one component and a 4-vertex path
+    /// (σ ∈ {2/√6 ≈ 0.8165, 2/3}) in another. Mutations inside the path
+    /// can never reach the clique's similarity class.
+    fn split_engine() -> QueryEngine {
+        let edges: Vec<(u32, u32)> = vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3), // K4
+            (4, 5),
+            (5, 6),
+            (6, 7), // path
+        ];
+        let g = parscan_graph::from_edges(8, &edges);
+        let index = Arc::new(ScanIndex::build(g, IndexConfig::default()));
+        QueryEngine::new(
+            index,
+            EngineConfig {
+                cache_capacity: 16,
+                cache_shards: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn apply_update_keeps_unaffected_cache_classes_and_drops_affected_ones() {
+        let e = split_engine();
+        let high = QueryParams::new(2, 0.95); // selects only clique edges
+        let low = QueryParams::new(2, 0.7); // selects path-end edges too
+        assert!(!e.cluster(high).cached);
+        assert!(!e.cluster(low).cached);
+        let before = e.stats();
+        assert_eq!(before.cache_misses, 2);
+
+        // Delete a path edge: θ = 2/√6 < 1.0, so the high-ε class (lower
+        // bound 2/√6 ≥ θ... the clique class's lower bound is the path's
+        // top breakpoint) survives and the low-ε class is dropped.
+        let up = e
+            .apply_update(&BatchUpdate::delete(&[(6, 7)]))
+            .expect("valid batch");
+        assert!(up.changed);
+        assert_eq!(up.epoch, 1);
+        assert_eq!(up.deleted, 1);
+        assert!(up.cache_kept >= 1, "{up:?}");
+        assert!(up.cache_dropped >= 1, "{up:?}");
+
+        // The unaffected high-ε entry is served from the cache under the
+        // new epoch: hits move, misses don't (the counter pattern the
+        // coalescing tests use to observe recomputation).
+        let again = e.cluster(high);
+        assert!(again.cached, "unaffected ε-class must survive the APPLY");
+        assert_eq!(again.epoch, 1);
+        let mid = e.stats();
+        assert_eq!(mid.cache_misses, before.cache_misses, "no recompute");
+        assert_eq!(mid.cache_hits, before.cache_hits + 1);
+        // And it is *correct* for the new index.
+        let direct = e.index().cluster_with(high, BorderAssignment::MostSimilar);
+        assert_eq!(*again.clustering, direct);
+
+        // The affected low-ε entry was dropped: re-querying recomputes.
+        let recompute = e.cluster(low);
+        assert!(!recompute.cached, "affected ε-class must be invalidated");
+        let after = e.stats();
+        assert_eq!(after.cache_misses, mid.cache_misses + 1);
+        let direct_low = e.index().cluster_with(low, BorderAssignment::MostSimilar);
+        assert_eq!(*recompute.clustering, direct_low);
+
+        // Ledger: counters reconcile and the stats surface the surgery.
+        assert_eq!(
+            after.cluster_requests,
+            after.cache_hits + after.cache_misses
+        );
+        assert_eq!(after.updates_applied, 1);
+        assert!(after.cache_retained >= 1);
+        assert!(after.cache_invalidated >= 1);
+        assert_eq!(after.epoch, 1);
+    }
+
+    #[test]
+    fn noop_update_keeps_epoch_and_cache() {
+        let e = split_engine();
+        e.cluster(QueryParams::new(2, 0.5));
+        let len_before = e.stats().cache_len;
+        // Insert an existing edge, delete an absent one, add a self-loop:
+        // all no-ops.
+        let up = e
+            .apply_update(&BatchUpdate {
+                insertions: vec![(0, 1, 1.0), (4, 4, 1.0)],
+                deletions: vec![(0, 7)],
+            })
+            .expect("valid batch");
+        assert!(!up.changed);
+        assert_eq!(up.epoch, 0);
+        assert_eq!(up.cache_dropped, 0);
+        assert_eq!(e.stats().cache_len, len_before);
+        assert_eq!(e.stats().updates_applied, 0);
+        // The entry still hits.
+        assert!(e.cluster(QueryParams::new(2, 0.5)).cached);
+    }
+
+    #[test]
+    fn apply_update_rejects_out_of_range_endpoints() {
+        let e = split_engine();
+        let err = e
+            .apply_update(&BatchUpdate::insert(&[(0, 99)]))
+            .expect_err("out of range");
+        assert!(err.contains("out of range"), "{err}");
+        // Nothing changed.
+        assert_eq!(e.epoch(), 0);
+    }
+
+    #[test]
+    fn readers_on_an_old_snapshot_finish_consistently() {
+        // A reader that grabbed its snapshot before an update keeps a
+        // fully consistent view: the old Arc stays alive and its answers
+        // match a direct computation on the old index.
+        let e = split_engine();
+        let old_index = e.index();
+        let p = QueryParams::new(2, 0.7);
+        let before = old_index.cluster_with(p, BorderAssignment::MostSimilar);
+        e.apply_update(&BatchUpdate::delete(&[(6, 7)])).unwrap();
+        // The old snapshot is untouched by the update.
+        let again = old_index.cluster_with(p, BorderAssignment::MostSimilar);
+        assert_eq!(before, again);
+        // New queries see the new graph.
+        assert_eq!(e.index().graph().num_edges(), 8);
+        assert_eq!(old_index.graph().num_edges(), 9);
+    }
+
+    #[test]
+    fn surviving_entries_remap_to_the_new_class_indexes() {
+        // After a deletion removes breakpoints below the surviving
+        // class, the class *index* shifts; the remapped entry must hit
+        // for every ε in the class under the new table.
+        let e = split_engine();
+        let high = QueryParams::new(2, 0.95);
+        e.cluster(high);
+        e.apply_update(&BatchUpdate::delete(&[(6, 7), (4, 5), (5, 6)]))
+            .unwrap();
+        // The path component is now empty; only σ = 1.0 breaks remain.
+        assert_eq!(e.num_breakpoints(), 1);
+        let hit = e.cluster(QueryParams::new(2, 0.99));
+        assert!(hit.cached, "remapped entry must serve the whole class");
+        let direct = e
+            .index()
+            .cluster_with(QueryParams::new(2, 0.99), BorderAssignment::MostSimilar);
+        assert_eq!(*hit.clustering, direct);
     }
 }

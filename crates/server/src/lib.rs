@@ -70,7 +70,9 @@ pub mod server;
 pub use batch::BatchExecutor;
 pub use boot::{warm_boot, WarmBootReport};
 pub use cache::ShardedLru;
-pub use engine::{ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest};
+pub use engine::{
+    ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest, UpdateOutcome,
+};
 pub use protocol::{parse_request, Request, Response, StatsGraph, StoreStats};
 pub use registry::{
     validate_graph_name, GraphInfo, GraphRegistry, LoadOutcome, RegistryConfig, RegistryError,

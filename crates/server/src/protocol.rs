@@ -15,6 +15,9 @@
 //! [@<graph>] CLUSTER <mu> <eps> [FULL]
 //! [@<graph>] PROBE <vertex> <mu> <eps>
 //! [@<graph>] SWEEP [eps_step]
+//! [@<graph>] INSERT <u>,<v>[,<w>] ...
+//! [@<graph>] DELETE <u>,<v> ...
+//! [@<graph>] APPLY {+<u>,<v>[,<w>] | -<u>,<v>} ...
 //! BATCH <cmd> ; <cmd> ; ...
 //! QUIT
 //! SHUTDOWN
@@ -24,7 +27,8 @@
 //! [`GraphRegistry`](crate::registry::GraphRegistry); without it, a
 //! query runs against the default (boot) graph — PR 1 clients keep
 //! working unchanged. `LOAD`/`UNLOAD`/`SAVE`/`LIST` manage the registry
-//! and never appear inside a `BATCH` (batches are read-only). `SAVE`
+//! and never appear inside a `BATCH` (batches are read-only, so the
+//! mutation verbs `INSERT`/`DELETE`/`APPLY` are excluded too). `SAVE`
 //! snapshots a resident graph into the server's durable store (it
 //! errors on servers started without `--store-dir`); `LOAD`'s optional
 //! `CACHE=<n>` sets that graph's result-cache capacity, which the store
@@ -37,13 +41,19 @@
 //! together reproduce the exact `Clustering` a direct library call
 //! returns. `BATCH` responds with `"results": [...]` in request order.
 
-use crate::engine::{ClusterOutcome, EngineStats, SweepBest};
+use crate::engine::{ClusterOutcome, EngineStats, SweepBest, UpdateOutcome};
 use crate::registry::{validate_graph_name, GraphInfo, LoadOutcome, RegistryStats};
-use parscan_core::{Clustering, QueryParams, VertexProbe, UNCLUSTERED};
+use parscan_core::{BatchUpdate, Clustering, QueryParams, VertexProbe, UNCLUSTERED};
 
 /// Most commands accepted in one `BATCH` — a bound on the work a single
 /// request line from an untrusted client can enqueue.
 pub const MAX_BATCH_COMMANDS: usize = 256;
+
+/// Most edges accepted in one `INSERT`/`DELETE`/`APPLY` line — a bound
+/// on the incremental-maintenance work one request from an untrusted
+/// client can trigger (line framing caps it anyway; this makes the
+/// limit explicit and the error message helpful).
+pub const MAX_MUTATION_EDGES: usize = 4096;
 
 /// A parsed client request. `graph: None` addresses the server's
 /// default graph.
@@ -87,6 +97,13 @@ pub enum Request {
         graph: Option<String>,
         eps_step: f32,
     },
+    /// An edge-mutation batch (`INSERT`/`DELETE`/`APPLY`) applied to a
+    /// resident graph via incremental index maintenance and published
+    /// as a new epoch.
+    Apply {
+        graph: Option<String>,
+        batch: BatchUpdate,
+    },
     /// A mixed workload executed by the batch executor; nested batches
     /// and registry mutation (`LOAD`/`UNLOAD`) are rejected at parse
     /// time.
@@ -106,6 +123,35 @@ fn parse_params(mu: Option<&str>, eps: Option<&str>) -> Result<QueryParams, Stri
     QueryParams::try_new(mu, eps).map_err(|e| e.to_string())
 }
 
+/// Parse one `u,v[,w]` edge token. Deletions name a pair only
+/// (`allow_weight` false); insertions default to weight 1. Self-loops
+/// are rejected here, loudly, rather than silently ignored downstream.
+fn parse_edge_token(tok: &str, allow_weight: bool) -> Result<(u32, u32, f32), String> {
+    let mut parts = tok.split(',');
+    let u: u32 = parse_num(parts.next(), "edge endpoint")?;
+    let v: u32 = parse_num(parts.next(), "edge endpoint")?;
+    let w = match parts.next() {
+        None => 1.0,
+        Some(w) if allow_weight => {
+            let w: f32 = w
+                .parse()
+                .map_err(|_| format!("bad edge weight in {tok:?}"))?;
+            if !w.is_finite() || w <= 0.0 {
+                return Err(format!("edge weight must be positive and finite: {tok:?}"));
+            }
+            w
+        }
+        Some(_) => return Err(format!("a deletion names a pair, not a weight: {tok:?}")),
+    };
+    if parts.next().is_some() {
+        return Err(format!("bad edge token {tok:?} (expected u,v[,w])"));
+    }
+    if u == v {
+        return Err(format!("self-loop {tok:?} is not allowed"));
+    }
+    Ok((u, v, w))
+}
+
 /// Parse one request line. A leading `@name` token addresses a named
 /// graph (valid on `CLUSTER`/`PROBE`/`SWEEP`/`STATS`). `BATCH` splits
 /// on `;` and parses each piece as a simple (non-batch, non-mutating)
@@ -121,7 +167,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         first = toks.next().ok_or("graph address without a command")?;
     }
     let verb = first.to_ascii_uppercase();
-    if graph.is_some() && !matches!(verb.as_str(), "CLUSTER" | "PROBE" | "SWEEP" | "STATS") {
+    if graph.is_some()
+        && !matches!(
+            verb.as_str(),
+            "CLUSTER" | "PROBE" | "SWEEP" | "STATS" | "INSERT" | "DELETE" | "APPLY"
+        )
+    {
         return Err(format!("{verb} does not take a @graph address"));
     }
     match verb.as_str() {
@@ -230,6 +281,44 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             Ok(Request::Sweep { graph, eps_step })
         }
+        "INSERT" | "DELETE" | "APPLY" => {
+            let mut batch = BatchUpdate::default();
+            let mut count = 0usize;
+            for tok in toks {
+                count += 1;
+                if count > MAX_MUTATION_EDGES {
+                    return Err(format!(
+                        "too many edges in one {verb} (max {MAX_MUTATION_EDGES})"
+                    ));
+                }
+                match verb.as_str() {
+                    "INSERT" => {
+                        let (u, v, w) = parse_edge_token(tok, true)?;
+                        batch.insertions.push((u, v, w));
+                    }
+                    "DELETE" => {
+                        let (u, v, _) = parse_edge_token(tok, false)?;
+                        batch.deletions.push((u, v));
+                    }
+                    // APPLY mixes signed ops: +u,v[,w] inserts, -u,v deletes.
+                    _ => {
+                        if let Some(t) = tok.strip_prefix('+') {
+                            let (u, v, w) = parse_edge_token(t, true)?;
+                            batch.insertions.push((u, v, w));
+                        } else if let Some(t) = tok.strip_prefix('-') {
+                            let (u, v, _) = parse_edge_token(t, false)?;
+                            batch.deletions.push((u, v));
+                        } else {
+                            return Err(format!("APPLY ops must start with '+' or '-': {tok:?}"));
+                        }
+                    }
+                }
+            }
+            if batch.is_empty() {
+                return Err(format!("{verb} needs at least one edge"));
+            }
+            Ok(Request::Apply { graph, batch })
+        }
         "BATCH" => {
             let rest = line
                 .split_once(char::is_whitespace)
@@ -254,6 +343,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     }
                     Request::Load { .. } | Request::Unload { .. } | Request::Save { .. } => {
                         return Err("LOAD/UNLOAD/SAVE cannot appear in a BATCH".into())
+                    }
+                    Request::Apply { .. } => {
+                        return Err(
+                            "INSERT/DELETE/APPLY cannot appear in a BATCH (batches are read-only)"
+                                .into(),
+                        )
                     }
                     other => inner.push(other),
                 }
@@ -314,6 +409,12 @@ pub enum Response {
     Sweep {
         graph: String,
         best: SweepBest,
+    },
+    /// Acknowledgement for `INSERT`/`DELETE`/`APPLY`: what the mutation
+    /// effectively did and the epoch now serving.
+    Applied {
+        graph: String,
+        outcome: UpdateOutcome,
     },
     Stats {
         graph: Option<StatsGraph>,
@@ -432,13 +533,14 @@ impl Response {
                 let mut out = format!(
                     concat!(
                         r#"{{"ok":true,"op":"cluster","graph":"{}","mu":{},"eps":{},"eps_class":{},"#,
-                        r#""eps_snapped":{},"clusters":{},"clustered":{},"cached":{},"coalesced":{},"micros":{}"#
+                        r#""eps_snapped":{},"epoch":{},"clusters":{},"clustered":{},"cached":{},"coalesced":{},"micros":{}"#
                     ),
                     json_escape(graph),
                     params.mu,
                     params.epsilon,
                     outcome.eps_class,
                     outcome.eps_snapped,
+                    outcome.epoch,
                     c.num_clusters(),
                     c.num_clustered(),
                     outcome.cached,
@@ -474,6 +576,25 @@ impl Response {
                     .attach_core
                     .map_or("null".to_string(), |u| u.to_string()),
             ),
+            Response::Applied { graph, outcome } => format!(
+                concat!(
+                    r#"{{"ok":true,"op":"apply","graph":"{}","epoch":{},"changed":{},"#,
+                    r#""inserted":{},"deleted":{},"reweighted":{},"changed_edges":{},"#,
+                    r#""cache_dropped":{},"cache_kept":{},"n":{},"m":{},"micros":{}}}"#
+                ),
+                json_escape(graph),
+                outcome.epoch,
+                outcome.changed,
+                outcome.inserted,
+                outcome.deleted,
+                outcome.reweighted,
+                outcome.changed_edges,
+                outcome.cache_dropped,
+                outcome.cache_kept,
+                outcome.n,
+                outcome.m,
+                outcome.micros,
+            ),
             Response::Sweep { graph, best } => format!(
                 concat!(
                     r#"{{"ok":true,"op":"sweep","graph":"{}","mu":{},"eps":{},"modularity":{:.6},"#,
@@ -500,7 +621,8 @@ impl Response {
                             r#","graph":"{}","n":{},"m":{},"breakpoints":{},"#,
                             r#""cluster_requests":{},"cache_hits":{},"cache_misses":{},"#,
                             r#""coalesced_waits":{},"hit_rate":{:.4},"probe_requests":{},"#,
-                            r#""compute_micros":{},"cache_len":{},"cache_capacity":{}"#
+                            r#""compute_micros":{},"cache_len":{},"cache_capacity":{},"#,
+                            r#""epoch":{},"updates_applied":{},"cache_invalidated":{},"cache_retained":{}"#
                         ),
                         json_escape(&g.name),
                         g.graph_n,
@@ -515,6 +637,10 @@ impl Response {
                         g.engine.compute_micros,
                         g.engine.cache_len,
                         g.engine.cache_capacity,
+                        g.engine.epoch,
+                        g.engine.updates_applied,
+                        g.engine.cache_invalidated,
+                        g.engine.cache_retained,
                     ));
                 }
                 out.push_str(&format!(
@@ -794,6 +920,103 @@ mod tests {
             "SAVE takes its name as an argument"
         );
         assert!(parse_request("BATCH SAVE ; PING").is_err());
+    }
+
+    #[test]
+    fn parses_mutation_commands() {
+        assert_eq!(
+            parse_request("INSERT 0,1 2,3,1.5"),
+            Ok(Request::Apply {
+                graph: None,
+                batch: BatchUpdate {
+                    insertions: vec![(0, 1, 1.0), (2, 3, 1.5)],
+                    deletions: vec![],
+                },
+            })
+        );
+        assert_eq!(
+            parse_request("@web delete 4,5 6,7"),
+            Ok(Request::Apply {
+                graph: Some("web".into()),
+                batch: BatchUpdate {
+                    insertions: vec![],
+                    deletions: vec![(4, 5), (6, 7)],
+                },
+            })
+        );
+        assert_eq!(
+            parse_request("APPLY +0,1,2.5 -2,3 +4,5"),
+            Ok(Request::Apply {
+                graph: None,
+                batch: BatchUpdate {
+                    insertions: vec![(0, 1, 2.5), (4, 5, 1.0)],
+                    deletions: vec![(2, 3)],
+                },
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_mutations() {
+        assert!(parse_request("INSERT").is_err(), "no edges");
+        assert!(parse_request("DELETE").is_err());
+        assert!(parse_request("APPLY").is_err());
+        assert!(parse_request("INSERT 0").is_err(), "not a pair");
+        assert!(parse_request("INSERT 0,1,2,3").is_err(), "too many parts");
+        assert!(parse_request("INSERT 0,0").is_err(), "self-loop");
+        assert!(parse_request("APPLY +1,1").is_err(), "self-loop");
+        assert!(parse_request("INSERT a,b").is_err(), "non-numeric");
+        assert!(parse_request("INSERT 0,1,-2").is_err(), "negative weight");
+        assert!(parse_request("INSERT 0,1,nan").is_err(), "nan weight");
+        assert!(
+            parse_request("DELETE 0,1,2.0").is_err(),
+            "deletions take no weight"
+        );
+        assert!(parse_request("APPLY -0,1,2.0").is_err());
+        assert!(parse_request("APPLY 0,1").is_err(), "missing sign");
+        assert!(parse_request("APPLY *0,1").is_err(), "bad sign");
+        // Mutations never appear in a BATCH (batches are read-only).
+        let err = parse_request("BATCH INSERT 0,1 ; PING").unwrap_err();
+        assert!(err.contains("read-only"), "{err}");
+        assert!(parse_request("BATCH PING ; APPLY -0,1").is_err());
+        assert!(parse_request("BATCH DELETE 0,1").is_err());
+        // The per-line edge cap rejects oversized mutation lines.
+        let huge = format!(
+            "DELETE {}",
+            (0..=MAX_MUTATION_EDGES as u32)
+                .map(|i| format!("{i},{}", i + 1))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        assert!(parse_request(&huge).unwrap_err().contains("too many edges"));
+    }
+
+    #[test]
+    fn renders_apply_responses() {
+        let r = Response::Applied {
+            graph: "web".into(),
+            outcome: UpdateOutcome {
+                epoch: 3,
+                changed: true,
+                inserted: 2,
+                deleted: 1,
+                reweighted: 0,
+                changed_edges: 9,
+                cache_dropped: 4,
+                cache_kept: 2,
+                n: 100,
+                m: 512,
+                micros: 250,
+            },
+        };
+        assert_eq!(
+            r.render_json(),
+            concat!(
+                r#"{"ok":true,"op":"apply","graph":"web","epoch":3,"changed":true,"#,
+                r#""inserted":2,"deleted":1,"reweighted":0,"changed_edges":9,"#,
+                r#""cache_dropped":4,"cache_kept":2,"n":100,"m":512,"micros":250}"#
+            )
+        );
     }
 
     #[test]

@@ -651,7 +651,8 @@ impl GraphRegistry {
             .iter()
             .filter_map(|(name, slot)| match slot {
                 Slot::Ready(entry) => {
-                    let g = entry.engine.index().graph();
+                    let index = entry.engine.index();
+                    let g = index.graph();
                     Some(GraphInfo {
                         name: name.clone(),
                         vertices: g.num_vertices(),

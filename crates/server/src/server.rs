@@ -52,7 +52,8 @@ impl ServerShared {
             None => self.registry.get(None).ok(),
         };
         let graph = resolved.map(|(name, engine)| {
-            let g = engine.index().graph();
+            let index = engine.index();
+            let g = index.graph();
             StatsGraph {
                 name,
                 engine: engine.stats(),
@@ -236,6 +237,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
     for h in sessions {
         let _ = h.join();
     }
+    // With every session drained no more mutations can arrive: snapshot
+    // every still-resident graph whose index was mutated since its last
+    // SAVE, so a clean shutdown never loses applied updates.
+    if let Some(store) = &shared.store {
+        for name in store.dirty_names() {
+            let Ok((canonical, engine)) = shared.registry.get(Some(&name)) else {
+                continue; // unloaded since the mutation; nothing to save
+            };
+            let pinned = canonical == shared.registry.default_name();
+            let cache_capacity = engine.stats().cache_capacity;
+            let _ = store.save(&canonical, &engine.index(), pinned, cache_capacity);
+        }
+    }
 }
 
 /// Longest accepted request line. Untrusted clients must not be able to
@@ -396,7 +410,8 @@ fn handle_line(
             (
                 match registry.load_path_with_config(&name, &path, config) {
                     Ok((engine, outcome)) => {
-                        let g = engine.index().graph();
+                        let index = engine.index();
+                        let g = index.graph();
                         let millis = start.elapsed().as_millis() as u64;
                         if outcome == crate::registry::LoadOutcome::Loaded {
                             if let Some(store) = &shared.store {
@@ -461,7 +476,7 @@ fn handle_line(
                     Ok((canonical, engine)) => {
                         let pinned = canonical == registry.default_name();
                         let cache_capacity = engine.stats().cache_capacity;
-                        match store.save(&canonical, engine.index(), pinned, cache_capacity) {
+                        match store.save(&canonical, &engine.index(), pinned, cache_capacity) {
                             Ok(entry) => Response::Saved {
                                 name: canonical,
                                 snapshot: entry.snapshot,
@@ -528,6 +543,44 @@ fn handle_line(
             },
             Control::Continue,
         ),
+        Request::Apply { graph, batch } => (
+            match resolve(graph.as_deref()) {
+                Ok((canonical, engine)) => match engine.apply_update(&batch) {
+                    Ok(outcome) => {
+                        // A mutation makes the resident index newer than
+                        // any snapshot: mark the graph dirty so SAVE (or
+                        // the shutdown sweep) persists it, and audit the
+                        // mutation like loads/saves.
+                        if outcome.changed {
+                            if let Some(store) = &shared.store {
+                                store.mark_dirty(&canonical);
+                                let _ = store.record(
+                                    AuditKind::Mutate,
+                                    Some(&canonical),
+                                    &format!(
+                                        "epoch={} ins={} del={} rew={} changed={} n={} m={}",
+                                        outcome.epoch,
+                                        outcome.inserted,
+                                        outcome.deleted,
+                                        outcome.reweighted,
+                                        outcome.changed_edges,
+                                        outcome.n,
+                                        outcome.m
+                                    ),
+                                );
+                            }
+                        }
+                        Response::Applied {
+                            graph: canonical,
+                            outcome,
+                        }
+                    }
+                    Err(message) => Response::Error { message },
+                },
+                Err(message) => Response::Error { message },
+            },
+            Control::Continue,
+        ),
         Request::Batch(inner) => {
             let responses = BatchExecutor::new(registry)
                 .execute(&inner, |g| shared.stats_response(g, session_requests));
@@ -588,6 +641,59 @@ mod tests {
         let out = roundtrip(server.addr(), &["CLUSTER 3 0.4", "CLUSTER 3 0.4", "QUIT"]);
         assert!(out[0].contains(r#""cached":false"#), "{}", out[0]);
         assert!(out[1].contains(r#""cached":true"#), "{}", out[1]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn mutation_roundtrip_over_tcp() {
+        // A fixed tiny graph so every mutation's effect is deterministic:
+        // triangle {0,1,2}, edge (3,4), isolated vertex 5.
+        let g = parscan_graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let engine = Arc::new(QueryEngine::new(
+            Arc::new(ScanIndex::build(g, IndexConfig::default())),
+            EngineConfig::default(),
+        ));
+        let server = serve_engine(engine, "127.0.0.1:0").expect("bind");
+        let out = roundtrip(
+            server.addr(),
+            &[
+                "INSERT 4,5",
+                "DELETE 0,1",
+                "APPLY +0,1 -3,4",
+                "INSERT 0,0",
+                "INSERT 0,99",
+                "BATCH INSERT 1,2 ; PING",
+                "STATS",
+                "QUIT",
+            ],
+        );
+        assert!(
+            out[0].contains(r#""op":"apply""#)
+                && out[0].contains(r#""epoch":1"#)
+                && out[0].contains(r#""inserted":1"#),
+            "{}",
+            out[0]
+        );
+        assert!(
+            out[1].contains(r#""epoch":2"#) && out[1].contains(r#""deleted":1"#),
+            "{}",
+            out[1]
+        );
+        assert!(
+            out[2].contains(r#""epoch":3"#)
+                && out[2].contains(r#""inserted":1"#)
+                && out[2].contains(r#""deleted":1"#),
+            "{}",
+            out[2]
+        );
+        assert!(out[3].contains(r#""ok":false"#), "self-loop: {}", out[3]);
+        assert!(out[4].contains("out of range"), "{}", out[4]);
+        assert!(out[5].contains(r#""ok":false"#), "batch: {}", out[5]);
+        assert!(
+            out[6].contains(r#""epoch":3"#) && out[6].contains(r#""updates_applied":3"#),
+            "{}",
+            out[6]
+        );
         server.shutdown();
     }
 

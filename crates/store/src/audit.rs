@@ -51,6 +51,10 @@ pub enum AuditKind {
     Unload,
     /// The registry evicted a graph to make room under its budget.
     Evict,
+    /// A resident index was mutated in place (protocol
+    /// `INSERT`/`DELETE`/`APPLY`) — any existing snapshot is stale until
+    /// the next `SAVE`.
+    Mutate,
 }
 
 impl AuditKind {
@@ -62,6 +66,7 @@ impl AuditKind {
             AuditKind::Save => "SAVE",
             AuditKind::Unload => "UNLOAD",
             AuditKind::Evict => "EVICT",
+            AuditKind::Mutate => "MUTATE",
         }
     }
 
@@ -73,6 +78,7 @@ impl AuditKind {
             "SAVE" => AuditKind::Save,
             "UNLOAD" => AuditKind::Unload,
             "EVICT" => AuditKind::Evict,
+            "MUTATE" => AuditKind::Mutate,
             _ => return None,
         })
     }

@@ -22,6 +22,7 @@
 use crate::audit::{self, AuditEvent, AuditKind, AuditLog};
 use crate::manifest::{self, ManifestEntry};
 use parscan_core::ScanIndex;
+use std::collections::BTreeSet;
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -54,6 +55,11 @@ pub struct IndexStore {
     /// under this lock, so disk and memory never diverge.
     entries: Mutex<Vec<ManifestEntry>>,
     audit: Mutex<AuditLog>,
+    /// Graphs whose resident index has been mutated since their last
+    /// snapshot (or that were never snapshotted after a mutation). This
+    /// is in-memory state, not persisted: a crash loses the set, but the
+    /// audit log's `MUTATE` lines record that the snapshot is stale.
+    dirty: Mutex<BTreeSet<String>>,
 }
 
 fn bad(msg: String) -> io::Error {
@@ -103,6 +109,7 @@ impl IndexStore {
             audit_path,
             entries: Mutex::new(entries),
             audit: Mutex::new(audit),
+            dirty: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -163,7 +170,27 @@ impl IndexStore {
             manifest::write(&self.manifest_path, &entries)?;
         }
         let _ = self.record(AuditKind::Save, Some(name), &format!("bytes={bytes}"));
+        self.lock_dirty().remove(name);
         Ok(entry)
+    }
+
+    /// Mark `name` as mutated since its last snapshot. The server calls
+    /// this after every effective `INSERT`/`DELETE`/`APPLY`; `save`
+    /// clears it. Names need not be in the manifest (a graph can be
+    /// mutated before it is ever `SAVE`d).
+    pub fn mark_dirty(&self, name: &str) {
+        self.lock_dirty().insert(name.to_string());
+    }
+
+    /// Names currently marked dirty, sorted. The shutdown path snapshots
+    /// these so mutations survive a clean stop without an explicit SAVE.
+    pub fn dirty_names(&self) -> Vec<String> {
+        self.lock_dirty().iter().cloned().collect()
+    }
+
+    /// Whether `name` has unsaved mutations.
+    pub fn is_dirty(&self, name: &str) -> bool {
+        self.lock_dirty().contains(name)
     }
 
     /// Load `name`'s snapshot back into a [`ScanIndex`] (one sequential
@@ -225,6 +252,12 @@ impl IndexStore {
 
     fn lock_entries(&self) -> std::sync::MutexGuard<'_, Vec<ManifestEntry>> {
         self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_dirty(&self) -> std::sync::MutexGuard<'_, BTreeSet<String>> {
+        self.dirty
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -316,6 +349,30 @@ mod tests {
         drop(store);
         let store = IndexStore::open(&dir).unwrap();
         assert!(store.entries().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dirty_tracking_clears_on_save() {
+        let dir = tmp_dir("dirty");
+        let store = IndexStore::open(&dir).unwrap();
+        assert!(store.dirty_names().is_empty());
+        store.mark_dirty("g");
+        store.mark_dirty("a");
+        store.mark_dirty("g"); // idempotent
+        assert!(store.is_dirty("g"));
+        assert_eq!(store.dirty_names(), ["a", "g"]);
+        store.save("g", &small_index(1), false, 128).unwrap();
+        assert!(!store.is_dirty("g"), "SAVE clears the dirty flag");
+        assert_eq!(store.dirty_names(), ["a"]);
+        // MUTATE round-trips through the audit log.
+        store
+            .record(AuditKind::Mutate, Some("a"), "epoch=1")
+            .unwrap();
+        let events = store.replay().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == AuditKind::Mutate && e.graph.as_deref() == Some("a")));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -375,8 +375,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let stats = registry.stats();
     println!(
         "serving {} graph(s) on {} (~{} MiB resident{}, cache {cache}/graph{}); \
-         line protocol: [@graph] CLUSTER/PROBE/SWEEP/STATS, LOAD/UNLOAD/SAVE/LIST, \
-         BATCH/PING/QUIT/SHUTDOWN",
+         line protocol: [@graph] CLUSTER/PROBE/SWEEP/STATS, [@graph] INSERT/DELETE/APPLY, \
+         LOAD/UNLOAD/SAVE/LIST, BATCH/PING/QUIT/SHUTDOWN",
         stats.graphs,
         server.addr(),
         stats.bytes_resident / (1 << 20),
