@@ -1,7 +1,9 @@
 //! Serving-layer benchmark: queries/sec cold vs. cache-hot, batch vs.
 //! sequential execution, coalescing under cold-miss contention, query
-//! latency under a concurrent mutation stream, and TCP round-trip
-//! latency on the hot path.
+//! latency under a concurrent mutation stream, TCP round-trip latency on
+//! the hot path, the hot path again while thousands of idle sessions sit
+//! on the reactor, and the latency of a typed shed-load refusal from a
+//! connection-saturated server.
 //!
 //! Run with `cargo bench -p parscan-bench --bench server`. Scale the
 //! input with `PARSCAN_SCALE` (default 1.0). Emits a human-readable
@@ -13,7 +15,8 @@ use parscan_core::{
 };
 use parscan_graph::generators;
 use parscan_server::{
-    serve_engine, BatchExecutor, EngineConfig, GraphRegistry, QueryEngine, Request, Response,
+    serve_engine, serve_with_config, BatchExecutor, EngineConfig, GraphRegistry, QueryEngine,
+    Request, Response, ServeConfig,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -312,6 +315,101 @@ fn main() {
     stream.write_all(b"QUIT\n").unwrap();
     server.shutdown();
 
+    // --- Connection-mix saturation ------------------------------------
+    // The reactor's reason to exist: thousands of idle sessions must be
+    // free. Hold a crowd of open-but-quiet connections and re-measure
+    // the hot round-trip through the same server — the crowd should not
+    // tax the hot path, because idle fds cost one slab slot each and
+    // zero worker or reactor time.
+    let idle_target = (2000.0 * scale()) as usize;
+    let server = serve_with_config(
+        GraphRegistry::single(Arc::clone(&engine)),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("bind saturated server");
+    let (idle_open_secs, idle_sessions) = secs(|| {
+        let mut sessions = Vec::with_capacity(idle_target);
+        while sessions.len() < idle_target {
+            match TcpStream::connect(server.addr()) {
+                Ok(s) => sessions.push(s),
+                // Listener backlog overrun under the connect burst:
+                // give the reactor a beat to drain accepts.
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+            }
+        }
+        sessions
+    });
+    let mut stream = TcpStream::connect(server.addr()).expect("connect hot");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let (saturated_secs, _) = secs(|| {
+        for _ in 0..RTT_ROUNDS {
+            stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+        }
+    });
+    let saturated_rtt_micros = saturated_secs / RTT_ROUNDS as f64 * 1e6;
+    println!(
+        "saturated: {} idle sessions held (opened in {:.2}s), hot round-trip {:.1}µs/query \
+         ({:.2}x the unloaded path)",
+        idle_sessions.len(),
+        idle_open_secs,
+        saturated_rtt_micros,
+        saturated_rtt_micros / rtt_micros,
+    );
+    drop(idle_sessions);
+    server.shutdown();
+
+    // --- Shed-load latency --------------------------------------------
+    // When admission control says no, it must say it *fast*: a full
+    // server answers the over-limit connection with a typed shed line
+    // and closes, instead of parking it. Price that refusal.
+    const SHED_CAP: usize = 64;
+    const SHED_PROBES: usize = 100;
+    let server = serve_with_config(
+        GraphRegistry::single(Arc::clone(&engine)),
+        "127.0.0.1:0",
+        ServeConfig {
+            max_connections: SHED_CAP,
+            ..Default::default()
+        },
+    )
+    .expect("bind capped server");
+    let mut occupants = Vec::with_capacity(SHED_CAP);
+    while occupants.len() < SHED_CAP {
+        let mut s = BufReader::new(TcpStream::connect(server.addr()).expect("occupy"));
+        // Round-trip so the slot is registered before the next connect.
+        s.get_mut().write_all(b"PING\n").unwrap();
+        line.clear();
+        s.read_line(&mut line).unwrap();
+        occupants.push(s);
+    }
+    let (shed_secs, sheds_seen) = secs(|| {
+        let mut seen = 0usize;
+        for _ in 0..SHED_PROBES {
+            let mut refused = BufReader::new(TcpStream::connect(server.addr()).expect("probe"));
+            line.clear();
+            refused.read_line(&mut line).unwrap();
+            if line.contains(r#""op":"shed""#) {
+                seen += 1;
+            }
+        }
+        seen
+    });
+    assert_eq!(sheds_seen, SHED_PROBES, "full server admitted a probe");
+    let shed_latency_micros = shed_secs / SHED_PROBES as f64 * 1e6;
+    println!(
+        "shed-load: {SHED_PROBES} over-limit connections refused in {:.1}µs each \
+         (cap {SHED_CAP})",
+        shed_latency_micros
+    );
+    drop(occupants);
+    server.shutdown();
+
     let stats = engine.stats();
     let json = format!(
         concat!(
@@ -324,7 +422,10 @@ fn main() {
             r#""mix_readers":{},"mix_baseline_micros":{:.2},"#,
             r#""mix_under_writes_micros":{:.2},"mix_write_degradation":{:.3},"#,
             r#""mix_batches_applied":{},"mix_epochs_advanced":{},"#,
-            r#""tcp_hot_rtt_micros":{:.2},"cache_hit_rate":{:.4}}}"#
+            r#""tcp_hot_rtt_micros":{:.2},"#,
+            r#""saturated_sessions":{},"saturated_rtt_micros":{:.2},"#,
+            r#""shed_probes":{},"shed_latency_micros":{:.2},"#,
+            r#""cache_hit_rate":{:.4}}}"#
         ),
         n,
         m,
@@ -348,6 +449,10 @@ fn main() {
         mix_batches,
         mix_epochs,
         rtt_micros,
+        idle_target,
+        saturated_rtt_micros,
+        SHED_PROBES,
+        shed_latency_micros,
         stats.hit_rate(),
     );
     println!("{json}");

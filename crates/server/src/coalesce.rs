@@ -1,0 +1,398 @@
+//! Request coalescing: one computation per key, any number of waiters.
+//!
+//! Two layers in this crate used to carry hand-rolled copies of the same
+//! leader/follower machinery — the engine's per-`(μ, ε-class)` in-flight
+//! table and the registry's `LOAD` slots. Both collapse onto this
+//! module:
+//!
+//! - [`Cell`] is a once-settable completion cell. Followers either
+//!   block on [`Cell::wait`] (library callers on their own threads) or
+//!   subscribe a callback with [`Cell::on_ready`] (the reactor's worker
+//!   pool, which must never park on another request's progress). The
+//!   outcome is `Option<V>`: `None` means the leader abandoned the
+//!   computation (it panicked), and the waiter decides whether to retry
+//!   or fail.
+//! - [`Coalescer`] is a keyed table of cells. [`Coalescer::enter_with`]
+//!   atomically consults a caller-supplied cache probe under the table
+//!   lock — preserving the invariant that *a cache miss observed under
+//!   the lock with no registered cell proves nobody is (or was just)
+//!   computing that key* — and classifies the caller as leader or
+//!   follower. The leader's [`LeaderGuard`] publishes exactly once;
+//!   dropping it unresolved (unwind path) cancels the cell so followers
+//!   wake with `None` instead of parking forever.
+
+use crate::lock_mutex;
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+type Callback<V> = Box<dyn FnOnce(Option<V>) + Send>;
+
+struct CellState<V> {
+    /// `None` while pending; `Some(None)` once cancelled;
+    /// `Some(Some(v))` once resolved with a value.
+    outcome: Option<Option<V>>,
+    callbacks: Vec<Callback<V>>,
+}
+
+/// A once-settable completion cell shared by one leader and any number
+/// of followers. Values are `Clone` because every follower gets its own
+/// copy (in practice `V` is an `Arc` or a small result enum).
+pub struct Cell<V> {
+    state: Mutex<CellState<V>>,
+    cv: Condvar,
+}
+
+impl<V: Clone> Cell<V> {
+    pub(crate) fn new() -> Cell<V> {
+        Cell {
+            state: Mutex::new(CellState {
+                outcome: None,
+                callbacks: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until the leader resolves or cancels. Poisoning is
+    /// recovered: a waiter must observe the outcome even if another
+    /// waiter's thread panicked while holding the state lock.
+    pub fn wait(&self) -> Option<V> {
+        let mut state = lock_mutex(&self.state);
+        loop {
+            if let Some(outcome) = &state.outcome {
+                return outcome.clone();
+            }
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Subscribe a completion callback. If the cell is already settled
+    /// the callback runs inline on the calling thread; otherwise it runs
+    /// on the leader's thread at resolve/cancel time. Exactly one call
+    /// either way.
+    pub fn on_ready(&self, callback: impl FnOnce(Option<V>) + Send + 'static) {
+        let mut state = lock_mutex(&self.state);
+        match &state.outcome {
+            Some(outcome) => {
+                let outcome = outcome.clone();
+                drop(state);
+                callback(outcome);
+            }
+            None => state.callbacks.push(Box::new(callback)),
+        }
+    }
+
+    /// Settle the cell: wake blocked waiters and run subscribed
+    /// callbacks (outside the state lock). Later calls are no-ops so an
+    /// unwinding guard cannot overwrite a published value.
+    pub(crate) fn resolve(&self, outcome: Option<V>) {
+        let callbacks = {
+            let mut state = lock_mutex(&self.state);
+            if state.outcome.is_some() {
+                return;
+            }
+            state.outcome = Some(outcome.clone());
+            std::mem::take(&mut state.callbacks)
+        };
+        self.cv.notify_all();
+        for callback in callbacks {
+            callback(outcome.clone());
+        }
+    }
+
+    /// The settled outcome, if any (`None` = still pending).
+    pub fn try_get(&self) -> Option<Option<V>> {
+        lock_mutex(&self.state).outcome.clone()
+    }
+}
+
+/// How [`Coalescer::enter`] classified the caller.
+pub enum Entry<'c, K: Eq + Hash + Clone, V: Clone> {
+    /// First caller for this key: compute, then publish through the
+    /// guard.
+    Leader(LeaderGuard<'c, K, V>),
+    /// Someone is already computing this key: wait on (or subscribe to)
+    /// the shared cell.
+    Follower(Arc<Cell<V>>),
+}
+
+/// Keyed table of in-flight computations. See the module docs for the
+/// locking invariant that [`Coalescer::enter_with`] maintains.
+pub struct Coalescer<K, V> {
+    slots: Mutex<HashMap<K, Arc<Cell<V>>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Coalescer<K, V> {
+    pub fn new() -> Coalescer<K, V> {
+        Coalescer {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Enter the table for `key`. `cached` runs **under the table
+    /// lock**: leaders publish their value to the cache *before*
+    /// deregistering (see [`LeaderGuard::publish`]), so a probe that
+    /// misses while holding the lock cannot race a concurrent leader's
+    /// publication — the caller is then safely classified as leader or
+    /// follower.
+    pub fn enter_with<R>(
+        &self,
+        key: K,
+        cached: impl FnOnce() -> Option<R>,
+    ) -> Result<R, Entry<'_, K, V>> {
+        let mut slots = lock_mutex(&self.slots);
+        if let Some(hit) = cached() {
+            return Ok(hit);
+        }
+        match slots.entry(key.clone()) {
+            MapEntry::Occupied(entry) => Err(Entry::Follower(Arc::clone(entry.get()))),
+            MapEntry::Vacant(vacancy) => {
+                let cell = Arc::new(Cell::new());
+                vacancy.insert(Arc::clone(&cell));
+                Err(Entry::Leader(LeaderGuard {
+                    coalescer: self,
+                    key,
+                    cell,
+                    settled: false,
+                }))
+            }
+        }
+    }
+
+    /// [`Coalescer::enter_with`] without a cache probe.
+    pub fn enter(&self, key: K) -> Entry<'_, K, V> {
+        match self.enter_with(key, || None::<std::convert::Infallible>) {
+            Err(entry) => entry,
+            Ok(never) => match never {},
+        }
+    }
+
+    /// Number of keys currently in flight.
+    pub fn len(&self) -> usize {
+        lock_mutex(&self.slots).len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer::new()
+    }
+}
+
+/// Held by the one caller computing a key. [`LeaderGuard::publish`]
+/// deregisters the key and resolves every follower; dropping the guard
+/// without publishing (the leader's computation panicked) cancels the
+/// cell — followers observe `None` and decide whether to retry.
+pub struct LeaderGuard<'c, K: Eq + Hash + Clone, V: Clone> {
+    coalescer: &'c Coalescer<K, V>,
+    key: K,
+    cell: Arc<Cell<V>>,
+    settled: bool,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LeaderGuard<'_, K, V> {
+    /// Publish the computed value. Call **after** inserting it into any
+    /// cache the paired [`Coalescer::enter_with`] probe consults —
+    /// deregistration here is what re-opens the key, and the probe must
+    /// hit by then.
+    pub fn publish(mut self, value: V) {
+        self.settle(Some(value));
+    }
+
+    fn settle(&mut self, outcome: Option<V>) {
+        self.settled = true;
+        lock_mutex(&self.coalescer.slots).remove(&self.key);
+        self.cell.resolve(outcome);
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Drop for LeaderGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.settle(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn single_leader_many_followers_share_one_value() {
+        let coalescer: Arc<Coalescer<&'static str, u64>> = Arc::new(Coalescer::new());
+        let computations = Arc::new(AtomicUsize::new(0));
+
+        let guard = match coalescer.enter("k") {
+            Entry::Leader(guard) => guard,
+            Entry::Follower(_) => panic!("first entrant must lead"),
+        };
+        assert_eq!(coalescer.len(), 1);
+
+        let mut followers = Vec::new();
+        for _ in 0..6 {
+            let coalescer = Arc::clone(&coalescer);
+            let computations = Arc::clone(&computations);
+            followers.push(thread::spawn(move || match coalescer.enter("k") {
+                Entry::Leader(_) => {
+                    computations.fetch_add(1, Ordering::SeqCst);
+                    panic!("key is taken; nobody else may lead");
+                }
+                Entry::Follower(cell) => cell.wait(),
+            }));
+        }
+
+        thread::sleep(Duration::from_millis(30)); // let followers park
+        computations.fetch_add(1, Ordering::SeqCst);
+        guard.publish(42);
+
+        for follower in followers {
+            assert_eq!(follower.join().unwrap(), Some(42));
+        }
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            1,
+            "exactly one computation ran"
+        );
+        assert!(coalescer.is_empty(), "published key must deregister");
+    }
+
+    #[test]
+    fn leader_unwind_cancels_followers_instead_of_wedging_them() {
+        let coalescer: Arc<Coalescer<u32, u64>> = Arc::new(Coalescer::new());
+
+        let leader = {
+            let coalescer = Arc::clone(&coalescer);
+            thread::spawn(move || {
+                let _guard = match coalescer.enter(7) {
+                    Entry::Leader(guard) => guard,
+                    Entry::Follower(_) => unreachable!(),
+                };
+                thread::sleep(Duration::from_millis(40));
+                panic!("computation exploded");
+            })
+        };
+
+        thread::sleep(Duration::from_millis(10)); // ensure leader registered first
+        let follower = {
+            let coalescer = Arc::clone(&coalescer);
+            thread::spawn(move || match coalescer.enter(7) {
+                Entry::Leader(_) => panic!("leader still holds the key"),
+                Entry::Follower(cell) => cell.wait(),
+            })
+        };
+
+        assert!(leader.join().is_err(), "leader must have panicked");
+        assert_eq!(
+            follower.join().unwrap(),
+            None,
+            "followers observe the cancellation"
+        );
+        assert!(coalescer.is_empty(), "cancelled key must deregister");
+
+        // The key is reusable: the next entrant leads afresh.
+        match coalescer.enter(7) {
+            Entry::Leader(guard) => guard.publish(1),
+            Entry::Follower(_) => panic!("cancelled key must be claimable again"),
+        };
+    }
+
+    #[test]
+    fn enter_with_probes_the_cache_under_the_table_lock() {
+        let coalescer: Coalescer<&'static str, u64> = Coalescer::new();
+
+        // Miss → leader.
+        let guard = match coalescer.enter_with("k", || None::<u64>) {
+            Err(Entry::Leader(guard)) => guard,
+            _ => panic!("miss with an empty table must lead"),
+        };
+        // Hit → short-circuits even while the key is held.
+        match coalescer.enter_with("k", || Some(9u64)) {
+            Ok(value) => assert_eq!(value, 9),
+            Err(_) => panic!("a cache hit must win over follower classification"),
+        }
+        guard.publish(5);
+    }
+
+    #[test]
+    fn on_ready_fires_inline_after_resolution_and_deferred_before() {
+        let cell: Arc<Cell<u64>> = Arc::new(Cell::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+
+        // Deferred: subscribed before resolve.
+        let observed = Arc::clone(&fired);
+        cell.on_ready(move |outcome| {
+            assert_eq!(outcome, Some(11));
+            observed.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            0,
+            "must not fire before resolve"
+        );
+        cell.resolve(Some(11));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+        // Inline: subscribed after resolve.
+        let observed = Arc::clone(&fired);
+        cell.on_ready(move |outcome| {
+            assert_eq!(outcome, Some(11));
+            observed.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            2,
+            "late subscription fires inline"
+        );
+        assert_eq!(cell.try_get(), Some(Some(11)));
+    }
+
+    #[test]
+    fn double_resolve_keeps_the_first_outcome() {
+        let cell: Cell<u64> = Cell::new();
+        cell.resolve(Some(1));
+        cell.resolve(Some(2));
+        cell.resolve(None);
+        assert_eq!(cell.wait(), Some(1));
+    }
+
+    #[test]
+    fn wait_recovers_from_a_poisoned_cell_lock() {
+        // A panicking on_ready callback poisons the state lock while
+        // resolve holds it... except resolve runs callbacks outside the
+        // lock, so poison the mutex directly: a thread that panics while
+        // holding the guard.
+        let cell: Arc<Cell<u64>> = Arc::new(Cell::new());
+        let poisoner = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let _guard = cell.state.lock().unwrap();
+                panic!("poison the cell state");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(cell.state.is_poisoned(), "precondition: lock is poisoned");
+
+        // Waiters and the leader must shrug it off.
+        let waiter = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || cell.wait())
+        };
+        thread::sleep(Duration::from_millis(20));
+        cell.resolve(Some(3));
+        assert_eq!(waiter.join().unwrap(), Some(3));
+    }
+}

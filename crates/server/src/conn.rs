@@ -1,0 +1,418 @@
+//! Per-connection state machine for the reactor: nonblocking line
+//! framing over a bounded input buffer, a bounded inbox of parsed
+//! requests, and a capped outbound buffer with explicit flush progress.
+//!
+//! The connection itself never talks to the poller or the worker pool —
+//! it only mutates buffers and reports outcomes; `reactor.rs` owns the
+//! event loop, interest registration, and job submission. That split
+//! keeps every framing rule (line cap, pipeline cap, drain budget)
+//! testable without a socket on the other end.
+//!
+//! ```text
+//!                 readable                    submit (one at a time)
+//!   socket ──► inbuf ──► inbox[..max_pipeline] ──► worker pool
+//!                │                                    │ completion
+//!                │ line > MAX_LINE_BYTES              ▼
+//!                └──► Draining (error sent,   outbuf ──► socket
+//!                     discard ≤1 MiB, then close)    writable
+//! ```
+
+use netpoll::Interest;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Longest accepted request line (including its newline). Untrusted
+/// clients must not be able to grow a session buffer without bound by
+/// never sending a newline.
+pub(crate) const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Closing with unread inbound bytes raises TCP RST, which can discard
+/// an error response before the client reads it. After rejecting an
+/// oversized line the connection discards up to this many further bytes
+/// (and no longer than [`DRAIN_GRACE`]) so a merely-confused client gets
+/// the message and a clean FIN; a hostile streamer still gets cut off.
+pub(crate) const DRAIN_BUDGET: usize = 1 << 20;
+
+/// Wall-clock cap on the post-rejection drain.
+pub(crate) const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Identifies a connection across the reactor/worker boundary. The slab
+/// slot alone is not enough: a completion may outlive its connection,
+/// and the slot can be reused — the generation disambiguates, so a
+/// stale completion is dropped instead of answering the wrong client.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct ConnId {
+    pub slot: usize,
+    pub generation: u64,
+}
+
+/// Connection lifecycle. `Open` is the only state that parses input.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ConnState {
+    /// Reading requests, writing responses.
+    Open,
+    /// A terminal response (QUIT/SHUTDOWN bye) is queued: flush the
+    /// outbound buffer, then close. Reads stop; queued requests drop.
+    FlushThenClose,
+    /// An oversized line was rejected: the error response is queued and
+    /// further inbound bytes are discarded against the drain budget and
+    /// grace deadline, then the connection closes.
+    Draining,
+}
+
+/// One parsed item awaiting submission.
+pub(crate) enum InboxItem {
+    /// A complete non-blank request line (newline stripped).
+    Line(String),
+    /// The framing cap fired at this point in the stream; dispatching
+    /// this item emits the protocol error and enters [`ConnState::Draining`].
+    Oversized,
+}
+
+/// What a readable-event fill pass observed.
+#[derive(PartialEq, Eq, Debug)]
+pub(crate) enum FillOutcome {
+    /// Socket drained to `WouldBlock` (or the pipeline cap); still open.
+    Open,
+    /// Peer sent FIN. Already-buffered requests remain valid; a partial
+    /// unterminated line is discarded.
+    Eof,
+    /// Hard I/O error (reset, …): close immediately.
+    Err,
+}
+
+pub(crate) struct Connection {
+    pub stream: TcpStream,
+    pub generation: u64,
+    pub state: ConnState,
+    /// A request from this connection is executing (or queued) in the
+    /// worker pool. At most one is ever in flight, and its completion is
+    /// written before the next submission — responses are attributed to
+    /// requests by construction, pipelined clients included.
+    pub busy: bool,
+    /// Requests submitted on this connection (the protocol's
+    /// `session_requests`).
+    pub requests: u64,
+    /// Peer half-closed; finish the pipeline, flush, then close.
+    pub peer_eof: bool,
+    /// Interest currently registered with the poller.
+    pub registered: Interest,
+    pub inbox: VecDeque<InboxItem>,
+    /// Set once the line cap fires: all further input is discarded
+    /// (counted against `drain_budget`) instead of parsed.
+    parse_dead: bool,
+    drain_budget: usize,
+    /// Set when the oversized error is dispatched; bounds Draining.
+    pub drain_deadline: Option<Instant>,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    out_pos: usize,
+}
+
+impl Connection {
+    pub fn new(stream: TcpStream, generation: u64) -> Connection {
+        Connection {
+            stream,
+            generation,
+            state: ConnState::Open,
+            busy: false,
+            requests: 0,
+            peer_eof: false,
+            registered: Interest::READABLE,
+            inbox: VecDeque::new(),
+            parse_dead: false,
+            drain_budget: DRAIN_BUDGET,
+            drain_deadline: None,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            out_pos: 0,
+        }
+    }
+
+    /// Drain the socket's readable data: parse complete lines into the
+    /// inbox (up to `max_pipeline`; further bytes stay in the kernel
+    /// buffer, which is the TCP-window backpressure), or discard against
+    /// the drain budget once parsing is dead.
+    pub fn fill(&mut self, scratch: &mut [u8], max_pipeline: usize) -> FillOutcome {
+        loop {
+            if !self.parse_dead && self.inbox.len() >= max_pipeline {
+                return FillOutcome::Open;
+            }
+            match self.stream.read(scratch) {
+                Ok(0) => return FillOutcome::Eof,
+                Ok(n) => {
+                    if self.parse_dead {
+                        self.drain_budget = self.drain_budget.saturating_sub(n);
+                        if self.drain_budget == 0 {
+                            // Budget exhausted: treat like EOF — the
+                            // reactor closes a draining connection that
+                            // has nothing left to say.
+                            return FillOutcome::Eof;
+                        }
+                        continue;
+                    }
+                    self.inbuf.extend_from_slice(&scratch[..n]);
+                    self.extract_lines();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return FillOutcome::Open,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return FillOutcome::Err,
+            }
+        }
+    }
+
+    /// Split `inbuf` into complete lines. Blank lines are skipped; a
+    /// line (or unterminated prefix) past [`MAX_LINE_BYTES`] kills the
+    /// parser and queues [`InboxItem::Oversized`].
+    fn extract_lines(&mut self) {
+        loop {
+            match self.inbuf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if pos + 1 > MAX_LINE_BYTES {
+                        self.kill_parser();
+                        return;
+                    }
+                    // The protocol is ASCII; lossy conversion keeps
+                    // framing intact for any bytes a client sends.
+                    let text = String::from_utf8_lossy(&self.inbuf[..pos]).into_owned();
+                    self.inbuf.drain(..=pos);
+                    if !text.trim().is_empty() {
+                        self.inbox.push_back(InboxItem::Line(text));
+                    }
+                }
+                None => {
+                    if self.inbuf.len() > MAX_LINE_BYTES {
+                        self.kill_parser();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn kill_parser(&mut self) {
+        self.parse_dead = true;
+        self.inbuf.clear();
+        self.inbuf.shrink_to_fit();
+        self.inbox.push_back(InboxItem::Oversized);
+    }
+
+    /// Append a response line to the outbound buffer. `false` means the
+    /// buffer would exceed `max_outbound` — the peer is not reading its
+    /// responses — and the caller should kill the connection.
+    pub fn queue_response(&mut self, payload: &[u8], max_outbound: usize) -> bool {
+        if self.outbuf.len() - self.out_pos + payload.len() > max_outbound {
+            return false;
+        }
+        self.outbuf.extend_from_slice(payload);
+        true
+    }
+
+    /// Write as much buffered output as the socket accepts right now.
+    /// `Ok(true)` means the buffer is fully drained.
+    pub fn try_flush(&mut self) -> std::io::Result<bool> {
+        while self.out_pos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos >= self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_pos = 0;
+            return Ok(true);
+        }
+        // Compact occasionally so a slow reader doesn't pin every
+        // already-written byte.
+        if self.out_pos > 64 * 1024 {
+            self.outbuf.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        Ok(false)
+    }
+
+    pub fn has_output(&self) -> bool {
+        self.out_pos < self.outbuf.len()
+    }
+
+    /// The poller interest this connection's state calls for. Read
+    /// interest drops while the inbox is at the pipeline cap (and is
+    /// restored by the next submission — backpressure, not starvation);
+    /// write interest exists only while output is buffered.
+    pub fn desired_interest(&self, max_pipeline: usize) -> Interest {
+        let readable = match self.state {
+            ConnState::Open => {
+                !self.peer_eof && (self.parse_dead || self.inbox.len() < max_pipeline)
+            }
+            ConnState::Draining => !self.peer_eof,
+            ConnState::FlushThenClose => false,
+        };
+        Interest {
+            readable,
+            writable: self.has_output(),
+        }
+    }
+
+    /// Enter the post-rejection drain (called when
+    /// [`InboxItem::Oversized`] is dispatched): queued requests are
+    /// dropped, input is discarded, and the connection closes once the
+    /// budget, grace period, or peer EOF ends it.
+    pub fn start_draining(&mut self) {
+        self.state = ConnState::Draining;
+        self.inbox.clear();
+        self.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
+    }
+
+    /// Stop reading and close once the outbound buffer drains (QUIT,
+    /// SHUTDOWN, or server shutdown).
+    pub fn start_closing(&mut self) {
+        self.state = ConnState::FlushThenClose;
+        self.inbox.clear();
+    }
+
+    /// Whether the connection has nothing left to do and should close.
+    pub fn ready_to_close(&self, now: Instant) -> bool {
+        match self.state {
+            ConnState::Open => {
+                self.peer_eof && !self.busy && self.inbox.is_empty() && !self.has_output()
+            }
+            ConnState::FlushThenClose => !self.has_output(),
+            ConnState::Draining => {
+                self.peer_eof
+                    || self.drain_budget == 0
+                    || self.drain_deadline.is_some_and(|d| now >= d)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A connected nonblocking pair: (server-side Connection, client).
+    fn pair() -> (Connection, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        (Connection::new(server_side, 1), client)
+    }
+
+    fn lines(conn: &mut Connection) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(item) = conn.inbox.pop_front() {
+            match item {
+                InboxItem::Line(l) => out.push(l),
+                InboxItem::Oversized => out.push("<OVERSIZED>".into()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn split_and_merged_frames_reassemble() {
+        let (mut conn, mut client) = pair();
+        let mut scratch = vec![0u8; 4096];
+
+        client.write_all(b"PI").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(conn.fill(&mut scratch, 64), FillOutcome::Open);
+        assert!(conn.inbox.is_empty(), "partial line must not dispatch");
+
+        client.write_all(b"NG\nSTATS\nQU").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(conn.fill(&mut scratch, 64), FillOutcome::Open);
+        assert_eq!(lines(&mut conn), vec!["PING", "STATS"]);
+
+        client.write_all(b"IT\n").unwrap();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(conn.fill(&mut scratch, 64), FillOutcome::Eof);
+        assert_eq!(lines(&mut conn), vec!["QUIT"]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_pipeline_caps_reads() {
+        let (mut conn, mut client) = pair();
+        let mut scratch = vec![0u8; 4096];
+        client.write_all(b"\n\n  \nPING\nPING\nPING\n").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(conn.fill(&mut scratch, 2), FillOutcome::Open);
+        // Cap is approximate to one read() granularity, but must engage.
+        assert!(conn.inbox.len() >= 2);
+        assert!(
+            !conn.desired_interest(2).readable,
+            "full inbox parks read interest"
+        );
+    }
+
+    #[test]
+    fn oversized_line_kills_the_parser_and_counts_drain_budget() {
+        let (mut conn, mut client) = pair();
+        let mut scratch = vec![0u8; 16384];
+        client.write_all(b"PING\n").unwrap();
+        client.write_all(&vec![b'A'; MAX_LINE_BYTES + 10]).unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(conn.fill(&mut scratch, 64), FillOutcome::Open);
+        let parsed = lines(&mut conn);
+        assert_eq!(parsed, vec!["PING", "<OVERSIZED>"]);
+
+        // Parser is dead: further bytes are discarded, not parsed.
+        client.write_all(b"PING\n").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        conn.fill(&mut scratch, 64);
+        assert!(conn.inbox.is_empty());
+    }
+
+    #[test]
+    fn exactly_max_line_bytes_including_newline_is_accepted() {
+        let (mut conn, mut client) = pair();
+        let mut scratch = vec![0u8; 16384];
+        let body = vec![b'B'; MAX_LINE_BYTES - 1];
+        client.write_all(&body).unwrap();
+        client.write_all(b"\n").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        conn.fill(&mut scratch, 64);
+        let parsed = lines(&mut conn);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].len(), MAX_LINE_BYTES - 1);
+    }
+
+    #[test]
+    fn outbound_cap_detects_slow_readers() {
+        let (mut conn, _client) = pair();
+        assert!(conn.queue_response(b"x".repeat(100).as_slice(), 150));
+        assert!(
+            !conn.queue_response(b"y".repeat(100).as_slice(), 150),
+            "over-cap enqueue must report the overflow"
+        );
+    }
+
+    #[test]
+    fn flush_makes_progress_and_reports_drained() {
+        let (mut conn, mut client) = pair();
+        assert!(conn.queue_response(b"hello\n", 1 << 20));
+        assert!(conn.has_output());
+        assert!(conn.try_flush().unwrap(), "small write drains fully");
+        assert!(!conn.has_output());
+        let mut buf = [0u8; 16];
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        let n = client.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello\n");
+    }
+}

@@ -55,16 +55,22 @@
 //! out of the LRU instead of ever being served stale.
 
 use crate::cache::ShardedLru;
+use crate::coalesce::{Coalescer, Entry};
 use crate::{lock_mutex, read_lock, write_lock};
 use parscan_core::{
     apply_batch_diff, BatchUpdate, BorderAssignment, Clustering, QueryOptions, QueryParams,
     ScanIndex, VertexProbe,
 };
 use parscan_graph::VertexId;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// Completion callback for [`QueryEngine::cluster_deferred`]. Receives
+/// `None` when the coalescing leader abandoned the computation (it
+/// panicked); the caller answers with a retryable error instead of
+/// re-running the work on whatever thread the cancellation fired on.
+pub type ClusterCallback = Box<dyn FnOnce(Option<ClusterOutcome>) + Send>;
 
 /// Engine construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -221,46 +227,6 @@ pub struct UpdateOutcome {
     pub micros: u64,
 }
 
-/// The once-cell a coalescing leader publishes through. `result` stays
-/// `None` until the leader finishes; `abandoned` covers the pathological
-/// case of a leader unwinding mid-computation, so followers retry
-/// instead of blocking forever.
-#[derive(Default)]
-struct InFlightSlot {
-    state: Mutex<InFlightState>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct InFlightState {
-    result: Option<Arc<Clustering>>,
-    abandoned: bool,
-}
-
-/// Removes the leader's in-flight registration on drop — including an
-/// unwind — and wakes every follower. On the normal path the result has
-/// been published first; on a panic the slot is marked abandoned and
-/// followers restart their own attempt.
-struct LeaderGuard<'e> {
-    engine: &'e QueryEngine,
-    key: CacheKey,
-    slot: Arc<InFlightSlot>,
-}
-
-impl Drop for LeaderGuard<'_> {
-    fn drop(&mut self) {
-        let mut inflight = lock_mutex(&self.engine.inflight);
-        inflight.remove(&self.key);
-        drop(inflight);
-        let mut state = lock_mutex(&self.slot.state);
-        if state.result.is_none() {
-            state.abandoned = true;
-        }
-        drop(state);
-        self.slot.cv.notify_all();
-    }
-}
-
 /// A resident index serving concurrent `(μ, ε)` queries through a
 /// quantized result cache.
 pub struct QueryEngine {
@@ -275,7 +241,7 @@ pub struct QueryEngine {
     cache: ShardedLru<CacheKey, Arc<Clustering>>,
     /// Keys whose clustering is being computed right now; see the module
     /// docs on in-flight coalescing.
-    inflight: Mutex<HashMap<CacheKey, Arc<InFlightSlot>>>,
+    inflight: Coalescer<CacheKey, Arc<Clustering>>,
     border: BorderAssignment,
     counters: Counters,
 }
@@ -306,7 +272,7 @@ impl QueryEngine {
             })),
             update_lock: Mutex::new(()),
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Coalescer::new(),
             border: config.border,
             counters: Counters::default(),
         }
@@ -434,74 +400,120 @@ impl QueryEngine {
             }
             // Cold so far: register as the computation leader for this
             // key, or join an already in-flight computation as follower.
-            let (slot, is_leader) = {
-                let mut inflight = lock_mutex(&self.inflight);
-                // Re-check the cache under the in-flight lock: a leader
-                // publishes to the cache *before* deregistering, so a
-                // miss here with no registered slot proves nobody is
-                // (or was just) computing this key.
-                if let Some(hit) = self.cache.get(&key) {
-                    drop(inflight);
+            // The cache is re-probed under the coalescer's table lock: a
+            // leader publishes to the cache *before* deregistering, so a
+            // miss there with no registered cell proves nobody is (or
+            // was just) computing this key.
+            match self.inflight.enter_with(key, || self.cache.get(&key)) {
+                Ok(hit) => {
                     if count {
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
                     return finish(hit, true, false);
                 }
-                match inflight.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
-                    std::collections::hash_map::Entry::Vacant(v) => {
-                        let slot = Arc::new(InFlightSlot::default());
-                        v.insert(Arc::clone(&slot));
-                        (slot, true)
+                Err(Entry::Follower(cell)) => {
+                    let Some(result) = cell.wait() else {
+                        continue; // leader unwound; retry from the top
+                    };
+                    if count {
+                        // A coalesced wait is a hit (answered without
+                        // computing) that additionally moved the
+                        // coalescing counter; see
+                        // `EngineStats::coalesced_waits`.
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.counters
+                            .coalesced_waits
+                            .fetch_add(1, Ordering::Relaxed);
                     }
+                    return finish(result, true, true);
                 }
-            };
-            if !is_leader {
-                let mut state = lock_mutex(&slot.state);
-                while state.result.is_none() && !state.abandoned {
-                    state = slot
-                        .cv
-                        .wait(state)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                }
-                let Some(result) = state.result.clone() else {
-                    continue; // leader unwound; retry from the top
-                };
-                drop(state);
-                if count {
-                    // A coalesced wait is a hit (answered without
-                    // computing) that additionally moved the coalescing
-                    // counter; see `EngineStats::coalesced_waits`.
-                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Err(Entry::Leader(guard)) => {
+                    // Compute, publish to the cache, then deregister +
+                    // wake followers through the guard. The guard
+                    // cancels the cell if the computation unwinds.
+                    let clustering = Arc::new(self.compute(&published.index, params));
+                    self.cache.insert(key, Arc::clone(&clustering));
+                    guard.publish(Arc::clone(&clustering));
+                    if count {
+                        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let out = finish(clustering, false, false);
                     self.counters
-                        .coalesced_waits
-                        .fetch_add(1, Ordering::Relaxed);
+                        .compute_micros
+                        .fetch_add(out.micros, Ordering::Relaxed);
+                    return out;
                 }
-                return finish(result, true, true);
             }
-            // Leader: compute, publish to the cache, wake followers. The
-            // guard deregisters the key even if the computation unwinds.
-            let guard = LeaderGuard {
-                engine: self,
-                key,
-                slot,
+        }
+    }
+
+    /// Event-driven sibling of [`Self::cluster`] for the reactor's
+    /// worker pool: `notify` is invoked exactly once with the outcome —
+    /// inline on this thread for cache hits and led computations,
+    /// later on the leader's thread for coalesced followers. A worker
+    /// thread therefore never parks on another request's progress.
+    ///
+    /// Counter semantics match the blocking path (a coalesced
+    /// completion is a hit + coalesced_wait); an abandoned computation
+    /// is accounted as a miss so the request ledger
+    /// (`cluster_requests == cache_hits + cache_misses`) stays exact.
+    pub fn cluster_deferred(self: &Arc<Self>, params: QueryParams, notify: ClusterCallback) {
+        self.counters
+            .cluster_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let published = self.published();
+        let (eps_class, eps_snapped) = published.snap_epsilon(params.epsilon);
+        let key = CacheKey {
+            epoch: published.epoch,
+            mu: params.mu,
+            eps_class,
+            most_similar: self.border == BorderAssignment::MostSimilar,
+        };
+        let epoch = published.epoch;
+        let outcome =
+            move |clustering: Arc<Clustering>, cached: bool, coalesced: bool| ClusterOutcome {
+                clustering,
+                cached,
+                coalesced,
+                micros: start.elapsed().as_micros() as u64,
+                eps_class,
+                eps_snapped,
+                epoch,
             };
-            let clustering = Arc::new(self.compute(&published.index, params));
-            self.cache.insert(key, Arc::clone(&clustering));
-            {
-                let mut state = lock_mutex(&guard.slot.state);
-                state.result = Some(Arc::clone(&clustering));
+        match self.inflight.enter_with(key, || self.cache.get(&key)) {
+            Ok(hit) => {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                notify(Some(outcome(hit, true, false)));
             }
-            guard.slot.cv.notify_all();
-            drop(guard);
-            if count {
+            Err(Entry::Follower(cell)) => {
+                let engine = Arc::clone(self);
+                cell.on_ready(move |result| match result {
+                    Some(clustering) => {
+                        engine.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        engine
+                            .counters
+                            .coalesced_waits
+                            .fetch_add(1, Ordering::Relaxed);
+                        notify(Some(outcome(clustering, true, true)));
+                    }
+                    None => {
+                        engine.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        notify(None);
+                    }
+                });
+            }
+            Err(Entry::Leader(guard)) => {
+                let clustering = Arc::new(self.compute(&published.index, params));
+                self.cache.insert(key, Arc::clone(&clustering));
+                guard.publish(Arc::clone(&clustering));
                 self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let out = outcome(clustering, false, false);
+                self.counters
+                    .compute_micros
+                    .fetch_add(out.micros, Ordering::Relaxed);
+                notify(Some(out));
             }
-            let out = finish(clustering, false, false);
-            self.counters
-                .compute_micros
-                .fetch_add(out.micros, Ordering::Relaxed);
-            return out;
         }
     }
 

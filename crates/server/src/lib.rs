@@ -22,10 +22,13 @@
 //!   graphs) and runs the distinct clustering queries as one flat
 //!   parallel job on [`parscan_parallel::pool`].
 //! - [`serve`] ([`server`]): a line/JSON protocol ([`protocol`]) over
-//!   `std::net::TcpListener` — one session thread per connection,
-//!   graceful shutdown that drains in-flight sessions, and
+//!   `std::net::TcpListener` — a readiness-polled reactor multiplexes
+//!   every connection on one thread (10k+ idle sessions in a bounded
+//!   thread count) and a small worker pool executes requests, with
+//!   admission control that sheds load past [`ServeConfig`] bounds,
+//!   graceful shutdown that flushes in-flight responses, and
 //!   request/latency/hit-rate counters ([`EngineStats`],
-//!   [`RegistryStats`]).
+//!   [`RegistryStats`], [`protocol::ReactorStats`]).
 //!
 //! ## Quick start
 //!
@@ -62,8 +65,11 @@
 pub mod batch;
 pub mod boot;
 pub mod cache;
+pub mod coalesce;
+mod conn;
 pub mod engine;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 pub mod server;
 
@@ -73,12 +79,16 @@ pub use cache::ShardedLru;
 pub use engine::{
     ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest, UpdateOutcome,
 };
-pub use protocol::{parse_request, Request, Response, StatsGraph, StoreStats};
+pub use protocol::{parse_request, ReactorStats, Request, Response, StatsGraph, StoreStats};
+pub use reactor::ServeConfig;
 pub use registry::{
     validate_graph_name, GraphInfo, GraphRegistry, LoadOutcome, RegistryConfig, RegistryError,
     RegistryStats,
 };
-pub use server::{serve, serve_engine, serve_with_store, ServerHandle};
+pub use server::{
+    serve, serve_engine, serve_with_config, serve_with_store, serve_with_store_and_config,
+    ServerHandle,
+};
 
 /// Lock a mutex, recovering from poisoning — a panicked holder must not
 /// wedge the serving layer (shared by the engine's in-flight table and

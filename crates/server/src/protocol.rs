@@ -385,6 +385,28 @@ pub struct StoreStats {
     pub audit_seq: u64,
 }
 
+/// Reactor-level counters in a `STATS` response: connection and
+/// admission-control state of the event loop serving this request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections currently registered with the reactor.
+    pub connections: u64,
+    /// Total connections ever accepted.
+    pub accepted: u64,
+    /// Requests parsed but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Admission-control bound on `queue_depth`; requests past it are
+    /// answered with a shed response instead of queued.
+    pub queue_limit: u64,
+    /// Requests refused with `"op":"shed"` because the queue was full.
+    pub shed_requests: u64,
+    /// Connections refused at accept because the connection limit was
+    /// reached.
+    pub shed_connections: u64,
+    /// Worker threads executing requests.
+    pub workers: u64,
+}
+
 /// A response ready for JSON rendering. `graph` fields carry the
 /// *canonical* graph name a query resolved to (the default graph's name
 /// for unaddressed requests).
@@ -392,6 +414,12 @@ pub struct StoreStats {
 pub enum Response {
     Pong,
     Error {
+        message: String,
+    },
+    /// Admission control refused this request (or connection): the
+    /// server is saturated. Distinct from `Error` so clients can retry
+    /// with backoff instead of treating it as a protocol mistake.
+    Shed {
         message: String,
     },
     Cluster {
@@ -417,11 +445,12 @@ pub enum Response {
         outcome: UpdateOutcome,
     },
     Stats {
-        graph: Option<StatsGraph>,
+        /// Boxed: the per-graph block dwarfs every other variant.
+        graph: Option<Box<StatsGraph>>,
         registry: RegistryStats,
         /// Durable-store counters; `None` on storeless servers.
         store: Option<StoreStats>,
-        sessions: u64,
+        reactor: ReactorStats,
         session_requests: u64,
     },
     /// Acknowledgement for `LOAD`.
@@ -523,6 +552,10 @@ impl Response {
                 r#"{{"ok":false,"op":"error","message":"{}"}}"#,
                 json_escape(message)
             ),
+            Response::Shed { message } => format!(
+                r#"{{"ok":false,"op":"shed","message":"{}"}}"#,
+                json_escape(message)
+            ),
             Response::Cluster {
                 graph,
                 params,
@@ -611,7 +644,7 @@ impl Response {
                 graph,
                 registry,
                 store,
-                sessions,
+                reactor,
                 session_requests,
             } => {
                 let mut out = String::from(r#"{"ok":true,"op":"stats""#);
@@ -668,8 +701,20 @@ impl Response {
                     ));
                 }
                 out.push_str(&format!(
-                    r#","sessions":{sessions},"session_requests":{session_requests}}}"#
+                    concat!(
+                        r#","reactor":{{"connections":{},"accepted":{},"queue_depth":{},"#,
+                        r#""queue_limit":{},"shed_requests":{},"shed_connections":{},"#,
+                        r#""workers":{}}}"#
+                    ),
+                    reactor.connections,
+                    reactor.accepted,
+                    reactor.queue_depth,
+                    reactor.queue_limit,
+                    reactor.shed_requests,
+                    reactor.shed_connections,
+                    reactor.workers,
                 ));
+                out.push_str(&format!(r#","session_requests":{session_requests}}}"#));
                 out
             }
             Response::Loaded {
@@ -1081,5 +1126,48 @@ mod tests {
         let c = Clustering::new(vec![0, 0, UNCLUSTERED, 3], vec![true, false, false, true]);
         assert_eq!(json_labels(&c), "[0,0,-1,3]");
         assert_eq!(json_core_ids(&c), "[0,3]");
+    }
+
+    #[test]
+    fn renders_shed_responses_with_their_own_op() {
+        let shed = Response::Shed {
+            message: "server overloaded: pending queue at limit (1024)".into(),
+        };
+        assert_eq!(
+            shed.render_json(),
+            r#"{"ok":false,"op":"shed","message":"server overloaded: pending queue at limit (1024)"}"#
+        );
+    }
+
+    #[test]
+    fn stats_render_the_reactor_block() {
+        let r = Response::Stats {
+            graph: None,
+            registry: crate::registry::RegistryStats::default(),
+            store: None,
+            reactor: ReactorStats {
+                connections: 11,
+                accepted: 42,
+                queue_depth: 3,
+                queue_limit: 1024,
+                shed_requests: 7,
+                shed_connections: 2,
+                workers: 4,
+            },
+            session_requests: 5,
+        };
+        let json = r.render_json();
+        assert!(
+            json.contains(concat!(
+                r#""reactor":{"connections":11,"accepted":42,"queue_depth":3,"#,
+                r#""queue_limit":1024,"shed_requests":7,"shed_connections":2,"workers":4}"#
+            )),
+            "{json}"
+        );
+        assert!(json.ends_with(r#","session_requests":5}"#), "{json}");
+        assert!(
+            !json.contains(r#""sessions":"#),
+            "old field must be gone: {json}"
+        );
     }
 }

@@ -1,0 +1,826 @@
+//! The event loop behind [`serve`](crate::server::serve): one reactor
+//! thread multiplexes every connection over [`netpoll`]'s readiness
+//! poller, and a small fixed worker pool executes parsed requests
+//! against the shared [`GraphRegistry`](crate::registry::GraphRegistry).
+//!
+//! The thread-per-connection server this replaced held 10k sessions
+//! with 10k blocked threads (80 MiB of stacks before a single request).
+//! Here the total thread count is `1 + workers`, independent of the
+//! connection count; an idle connection costs one slab slot and one
+//! kernel epoll registration.
+//!
+//! ## Division of labor
+//!
+//! - **Reactor thread** (`parscan-serve-reactor`): accepts, reads,
+//!   frames, writes, and enforces admission control. It never executes a
+//!   request — the slowest thing it does is `memcpy`.
+//! - **Workers** (`parscan-serve-worker-N`): pop jobs from a bounded
+//!   queue, run the protocol handler, and push the rendered response
+//!   onto the completion queue, waking the reactor via its pipe-based
+//!   [`Waker`]. Coalesced cluster/load computations hand their
+//!   [`Responder`] to an in-flight leader instead of blocking a worker
+//!   ([`QueryEngine::cluster_deferred`](crate::engine::QueryEngine::cluster_deferred),
+//!   [`GraphRegistry::load_path_deferred`](crate::registry::GraphRegistry::load_path_deferred)).
+//!
+//! ## Admission control
+//!
+//! Three bounds shed load instead of queuing it unboundedly:
+//! connections past [`ServeConfig::max_connections`] are refused at
+//! accept with a `"op":"shed"` line; requests arriving while the worker
+//! queue holds [`ServeConfig::queue_limit`] entries are answered with
+//! the same typed response without ever reaching a worker; and a
+//! connection buffering more than [`ServeConfig::max_outbound_bytes`]
+//! of unread responses is killed (the peer stopped reading).
+//!
+//! ## No lost responses
+//!
+//! Every submitted request produces exactly one completion: the
+//! [`Responder`] synthesizes an internal-error response on drop if the
+//! handler never sent one, so a panicking worker or an abandoned
+//! deferred computation cannot wedge its connection in the busy state.
+//! Completions carry a [`ConnId`] generation so a response for a
+//! connection that died mid-request is dropped, never delivered to the
+//! slot's next tenant.
+
+use crate::conn::{ConnId, Connection, FillOutcome, InboxItem, MAX_LINE_BYTES};
+use crate::engine::EngineConfig;
+use crate::protocol::{parse_request, Request, Response};
+use crate::server::{handle_request, load_response, Control, ServerShared};
+use netpoll::{Event, Interest, Poller, Waker};
+use std::io::{ErrorKind, Write};
+use std::net::TcpListener;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Reactor and admission-control tuning for
+/// [`serve_with_config`](crate::server::serve_with_config). The
+/// defaults hold 10k+ idle sessions in a few threads while bounding
+/// every queue a hostile client could grow.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Request-executing worker threads; `0` picks from the machine's
+    /// available parallelism (clamped to 2..=8).
+    pub workers: usize,
+    /// Connections held at once; accepts past this are shed.
+    pub max_connections: usize,
+    /// Parsed requests waiting for a worker; requests past this are
+    /// shed with a typed `"op":"shed"` response.
+    pub queue_limit: usize,
+    /// Parsed-but-unsubmitted requests buffered per connection before
+    /// the reactor stops reading from it (pipelining backpressure — the
+    /// TCP window, not server memory, absorbs the excess).
+    pub max_pipeline: usize,
+    /// Unread response bytes buffered per connection before it is
+    /// killed as a non-reading peer.
+    pub max_outbound_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            max_connections: 16_384,
+            queue_limit: 1024,
+            max_pipeline: 64,
+            max_outbound_bytes: 8 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers != 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
+    }
+}
+
+/// Counters surfaced through `STATS` (plus the configured bounds they
+/// run against).
+pub(crate) struct ReactorMetrics {
+    pub connections: AtomicU64,
+    pub accepted: AtomicU64,
+    pub shed_requests: AtomicU64,
+    pub shed_connections: AtomicU64,
+    pub queue_limit: u64,
+    pub workers: u64,
+}
+
+impl ReactorMetrics {
+    pub fn new(queue_limit: usize, workers: usize) -> ReactorMetrics {
+        ReactorMetrics {
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            queue_limit: queue_limit as u64,
+            workers: workers as u64,
+        }
+    }
+}
+
+/// One parsed request bound for the worker pool.
+pub(crate) struct Job {
+    pub conn: ConnId,
+    pub line: String,
+    /// The connection's request counter at submission (the protocol's
+    /// `session_requests`).
+    pub requests: u64,
+}
+
+pub(crate) enum Push {
+    Queued,
+    /// At [`ServeConfig::queue_limit`]: shed this request.
+    Full,
+    /// Shutting down: drop this request silently.
+    Closed,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded reactor→worker queue. Its depth is the `queue_depth`
+/// STATS gauge, kept in an atomic so the stats path never takes the
+/// queue lock.
+pub(crate) struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: AtomicU64,
+    limit: usize,
+}
+
+impl JobQueue {
+    pub fn new(limit: usize) -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth: AtomicU64::new(0),
+            limit,
+        }
+    }
+
+    pub fn try_push(&self, job: Job) -> Push {
+        let mut state = crate::lock_mutex(&self.state);
+        if state.closed {
+            return Push::Closed;
+        }
+        if state.jobs.len() >= self.limit {
+            return Push::Full;
+        }
+        state.jobs.push_back(job);
+        self.depth.store(state.jobs.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.ready.notify_one();
+        Push::Queued
+    }
+
+    /// Blocking pop; `None` once the queue is closed. Jobs queued but
+    /// unstarted at close are dropped — their connections are being torn
+    /// down anyway.
+    fn pop(&self) -> Option<Job> {
+        let mut state = crate::lock_mutex(&self.state);
+        loop {
+            if state.closed {
+                return None;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                self.depth.store(state.jobs.len() as u64, Ordering::Relaxed);
+                return Some(job);
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut state = crate::lock_mutex(&self.state);
+        state.closed = true;
+        state.jobs.clear();
+        self.depth.store(0, Ordering::Relaxed);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+}
+
+/// A finished request's response, routed back to its connection.
+pub(crate) struct Completion {
+    pub conn: ConnId,
+    /// The rendered response line, newline included.
+    pub payload: Vec<u8>,
+    pub control: Control,
+}
+
+/// Worker→reactor completion queue plus the waker that interrupts the
+/// reactor's poll. Shared with every deferred-computation callback, so
+/// it must outlive the reactor thread; a wake after teardown writes
+/// into a pipe nobody reads, which is harmless.
+pub(crate) struct Completions {
+    queue: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, conn: ConnId, response: &Response, control: Control) {
+        let mut payload = response.render_json().into_bytes();
+        payload.push(b'\n');
+        crate::lock_mutex(&self.queue).push(Completion {
+            conn,
+            payload,
+            control,
+        });
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *crate::lock_mutex(&self.queue))
+    }
+
+    pub fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+/// The single-use reply channel handed to a request handler. Dropping
+/// it without calling [`Responder::send`] delivers a synthesized
+/// internal error instead — the structural guarantee that every
+/// submitted request completes, panics and abandoned computations
+/// included.
+pub(crate) struct Responder {
+    inner: Option<(Arc<Completions>, ConnId)>,
+}
+
+impl Responder {
+    fn new(completions: Arc<Completions>, conn: ConnId) -> Responder {
+        Responder {
+            inner: Some((completions, conn)),
+        }
+    }
+
+    pub fn send(mut self, response: &Response, control: Control) {
+        if let Some((completions, conn)) = self.inner.take() {
+            completions.push(conn, response, control);
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some((completions, conn)) = self.inner.take() {
+            completions.push(
+                conn,
+                &Response::Error {
+                    message: "internal error: request handler produced no response".into(),
+                },
+                Control::Continue,
+            );
+        }
+    }
+}
+
+/// Execute one request line on a worker thread. `CLUSTER` and `LOAD`
+/// route through the deferred engine/registry entry points so a
+/// coalesced follower parks its [`Responder`] on the in-flight leader's
+/// completion cell instead of blocking this worker; everything else
+/// runs inline through [`handle_request`].
+fn execute_request(
+    shared: &Arc<ServerShared>,
+    line: &str,
+    session_requests: u64,
+    responder: Responder,
+) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(message) => {
+            return responder.send(&Response::Error { message }, Control::Continue);
+        }
+    };
+    match request {
+        Request::Cluster {
+            graph,
+            params,
+            full,
+        } => match shared.registry.get(graph.as_deref()) {
+            Ok((canonical, engine)) => engine.cluster_deferred(
+                params,
+                Box::new(move |outcome| match outcome {
+                    Some(outcome) => responder.send(
+                        &Response::Cluster {
+                            graph: canonical,
+                            params,
+                            outcome,
+                            full,
+                        },
+                        Control::Continue,
+                    ),
+                    None => responder.send(
+                        &Response::Error {
+                            message: "clustering was abandoned by a failed leader; retry".into(),
+                        },
+                        Control::Continue,
+                    ),
+                }),
+            ),
+            Err(e) => responder.send(
+                &Response::Error {
+                    message: e.to_string(),
+                },
+                Control::Continue,
+            ),
+        },
+        Request::Load { name, path, cache } => {
+            let start = Instant::now();
+            let config = EngineConfig {
+                cache_capacity: cache.unwrap_or(shared.registry.engine_config().cache_capacity),
+                ..shared.registry.engine_config()
+            };
+            let cb_shared = Arc::clone(shared);
+            let cb_name = name.clone();
+            let cb_path = path.clone();
+            shared.registry.load_path_deferred(
+                &name,
+                &path,
+                config,
+                Box::new(move |result| {
+                    let response = load_response(&cb_shared, cb_name, &cb_path, start, result);
+                    responder.send(&response, Control::Continue);
+                }),
+            );
+        }
+        other => {
+            let (response, control) = handle_request(other, shared, session_requests);
+            responder.send(&response, control);
+        }
+    }
+}
+
+fn worker_loop(jobs: Arc<JobQueue>, completions: Arc<Completions>, shared: Arc<ServerShared>) {
+    while let Some(job) = jobs.pop() {
+        let responder = Responder::new(Arc::clone(&completions), job.conn);
+        // A panicking handler must not take the worker down with it; the
+        // unwinding Responder converts the panic into an error response.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_request(&shared, &job.line, job.requests, responder);
+        }));
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+
+/// How long a connection with buffered output gets to drain it after
+/// shutdown is requested.
+const SHUTDOWN_FLUSH_GRACE: Duration = Duration::from_millis(500);
+
+pub(crate) struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    config: ServeConfig,
+    /// Connection slab: `slots[i]` answers poll token `TOKEN_BASE + i`.
+    slots: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    /// Slots emptied during the current loop iteration. They join `free`
+    /// only at the end of the iteration, so a token freed early in an
+    /// event batch cannot be reissued to a new connection that a stale
+    /// event later in the same batch would then touch.
+    pending_free: Vec<usize>,
+    live: usize,
+    next_generation: u64,
+    completions: Arc<Completions>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Reactor {
+    pub fn new(
+        listener: TcpListener,
+        shared: Arc<ServerShared>,
+        config: ServeConfig,
+    ) -> std::io::Result<Reactor> {
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        let waker = Waker::new(&poller, TOKEN_WAKER)?;
+        let completions = Arc::new(Completions {
+            queue: Mutex::new(Vec::new()),
+            waker,
+        });
+        let mut workers = Vec::new();
+        for i in 0..shared.metrics.workers {
+            let jobs = Arc::clone(&shared.jobs);
+            let completions = Arc::clone(&completions);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("parscan-serve-worker-{i}"))
+                    .spawn(move || worker_loop(jobs, completions, shared))?,
+            );
+        }
+        Ok(Reactor {
+            poller,
+            listener,
+            shared,
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending_free: Vec::new(),
+            live: 0,
+            next_generation: 0,
+            completions,
+            workers,
+        })
+    }
+
+    pub fn completions(&self) -> Arc<Completions> {
+        Arc::clone(&self.completions)
+    }
+
+    pub fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut scratch = vec![0u8; 16 * 1024];
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            // The timeout doubles as the tick for the shutdown flag and
+            // the Draining deadline sweep.
+            if self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .is_err()
+            {
+                break;
+            }
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {} // drained once per iteration below
+                    token => self.conn_event((token - TOKEN_BASE) as usize, ev, &mut scratch),
+                }
+            }
+            self.drain_waker();
+            self.drain_completions();
+            self.sweep_deadlines();
+            self.free.append(&mut self.pending_free);
+        }
+        self.shutdown_drain();
+    }
+
+    fn drain_waker(&self) {
+        // Level-triggered poller: leave the pipe empty or it reports
+        // readable forever.
+        self.completions.waker.drain();
+    }
+
+    fn conn_mut(&mut self, slot: usize) -> Option<&mut Connection> {
+        self.slots.get_mut(slot).and_then(Option::as_mut)
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                // EMFILE and friends: retry after the next poll tick
+                // instead of spinning on the error.
+                Err(_) => return,
+            };
+            self.shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if self.live >= self.config.max_connections {
+                self.shared
+                    .metrics
+                    .shed_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let shed = Response::Shed {
+                    message: format!("connection limit reached ({})", self.config.max_connections),
+                };
+                let mut payload = shed.render_json().into_bytes();
+                payload.push(b'\n');
+                // Best-effort single write: a fresh socket's send buffer
+                // is empty, so this lands unless the peer already died.
+                let mut stream = stream;
+                let _ = stream.write(&payload);
+                continue; // drop closes it
+            }
+            let generation = self.next_generation;
+            self.next_generation += 1;
+            let conn = Connection::new(stream, generation);
+            let fd = conn.stream.as_raw_fd();
+            let slot = match self.free.pop() {
+                Some(slot) => {
+                    self.slots[slot] = Some(conn);
+                    slot
+                }
+                None => {
+                    self.slots.push(Some(conn));
+                    self.slots.len() - 1
+                }
+            };
+            if self
+                .poller
+                .register(fd, TOKEN_BASE + slot as u64, Interest::READABLE)
+                .is_err()
+            {
+                // Never polled, so no stale event can reference the slot:
+                // it may return to the free list immediately.
+                self.slots[slot] = None;
+                self.free.push(slot);
+                continue;
+            }
+            self.live += 1;
+            self.shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn conn_event(&mut self, slot: usize, ev: Event, scratch: &mut [u8]) {
+        let max_pipeline = self.config.max_pipeline;
+        let mut dead = false;
+        {
+            // A stale event for a slot freed earlier in this batch (or a
+            // spurious one) resolves to no connection and is ignored.
+            let Some(conn) = self.conn_mut(slot) else {
+                return;
+            };
+            if ev.readable || ev.hangup || ev.error {
+                match conn.fill(scratch, max_pipeline) {
+                    FillOutcome::Open => {}
+                    FillOutcome::Eof => conn.peer_eof = true,
+                    FillOutcome::Err => dead = true,
+                }
+            }
+            if !dead && ev.writable && conn.try_flush().is_err() {
+                dead = true;
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+        self.pump(slot);
+    }
+
+    /// Submit inbox items while the connection is idle, then flush and
+    /// settle interest. At most one request per connection is in flight
+    /// at a time; its completion re-enters here to submit the next —
+    /// which is what makes pipelined responses impossible to reorder or
+    /// misattribute.
+    fn pump(&mut self, slot: usize) {
+        let max_outbound = self.config.max_outbound_bytes;
+        loop {
+            let item = {
+                let Some(conn) = self.conn_mut(slot) else {
+                    return;
+                };
+                if conn.state != crate::conn::ConnState::Open || conn.busy {
+                    None
+                } else {
+                    conn.inbox.pop_front()
+                }
+            };
+            match item {
+                None => break,
+                Some(InboxItem::Oversized) => {
+                    // Matches the former blocking server's bound, message
+                    // included: reject, then drain briefly so the error
+                    // outruns the FIN.
+                    let response = Response::Error {
+                        message: format!("request exceeds {MAX_LINE_BYTES} bytes"),
+                    };
+                    let mut payload = response.render_json().into_bytes();
+                    payload.push(b'\n');
+                    let conn = self.conn_mut(slot).expect("checked above");
+                    let queued = conn.queue_response(&payload, max_outbound);
+                    conn.start_draining();
+                    if !queued {
+                        self.close(slot);
+                        return;
+                    }
+                    break;
+                }
+                Some(InboxItem::Line(line)) => {
+                    let (id, requests) = {
+                        let conn = self.conn_mut(slot).expect("checked above");
+                        conn.requests += 1;
+                        (
+                            ConnId {
+                                slot,
+                                generation: conn.generation,
+                            },
+                            conn.requests,
+                        )
+                    };
+                    match self.shared.jobs.try_push(Job {
+                        conn: id,
+                        line,
+                        requests,
+                    }) {
+                        Push::Queued => {
+                            self.conn_mut(slot).expect("checked above").busy = true;
+                            break;
+                        }
+                        Push::Closed => break,
+                        Push::Full => {
+                            // Shed at submission: the connection is not
+                            // busy, so every prior response is already
+                            // queued and ordering holds. Keep popping —
+                            // pipelined followers shed too.
+                            self.shared
+                                .metrics
+                                .shed_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                            let response = Response::Shed {
+                                message: format!(
+                                    "server overloaded: pending request queue at limit ({})",
+                                    self.config.queue_limit
+                                ),
+                            };
+                            let mut payload = response.render_json().into_bytes();
+                            payload.push(b'\n');
+                            let queued = self
+                                .conn_mut(slot)
+                                .expect("checked above")
+                                .queue_response(&payload, max_outbound);
+                            if !queued {
+                                self.close(slot);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.settle(slot);
+    }
+
+    /// Flush opportunistically, close if finished, otherwise bring the
+    /// poller's interest in line with the connection's state.
+    fn settle(&mut self, slot: usize) {
+        let max_pipeline = self.config.max_pipeline;
+        let now = Instant::now();
+        let mut dead = false;
+        let mut desired = Interest::NONE;
+        {
+            let Some(conn) = self.conn_mut(slot) else {
+                return;
+            };
+            if (conn.has_output() && conn.try_flush().is_err()) || conn.ready_to_close(now) {
+                dead = true;
+            } else {
+                desired = conn.desired_interest(max_pipeline);
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+        let (fd, changed) = {
+            let conn = self.conn_mut(slot).expect("checked above");
+            if conn.registered == desired {
+                (0, false)
+            } else {
+                conn.registered = desired;
+                (conn.stream.as_raw_fd(), true)
+            }
+        };
+        if changed
+            && self
+                .poller
+                .reregister(fd, TOKEN_BASE + slot as u64, desired)
+                .is_err()
+        {
+            self.close(slot);
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let max_outbound = self.config.max_outbound_bytes;
+        for completion in self.completions.drain() {
+            let Completion {
+                conn: id,
+                payload,
+                control,
+            } = completion;
+            let queued = {
+                let Some(conn) = self.conn_mut(id.slot) else {
+                    continue;
+                };
+                if conn.generation != id.generation {
+                    // The request's connection died; this response
+                    // belongs to nobody. Dropping it here is what keeps a
+                    // reused slot from receiving a predecessor's reply.
+                    continue;
+                }
+                conn.busy = false;
+                let queued = conn.queue_response(&payload, max_outbound);
+                if queued && !matches!(control, Control::Continue) {
+                    conn.start_closing();
+                }
+                queued
+            };
+            if !queued {
+                self.close(id.slot);
+                continue;
+            }
+            if matches!(control, Control::ShutdownServer) {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            match control {
+                Control::Continue => self.pump(id.slot),
+                _ => self.settle(id.slot),
+            }
+        }
+    }
+
+    /// Time-driven closes the event flow can't deliver: Draining
+    /// connections whose grace expired, and any straggler the
+    /// event-driven paths already made closeable.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut doomed = Vec::new();
+        for (slot, entry) in self.slots.iter().enumerate() {
+            if let Some(conn) = entry {
+                if !conn.busy && conn.ready_to_close(now) {
+                    doomed.push(slot);
+                }
+            }
+        }
+        for slot in doomed {
+            self.close(slot);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        let Some(conn) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.live -= 1;
+        self.shared
+            .metrics
+            .connections
+            .fetch_sub(1, Ordering::Relaxed);
+        self.pending_free.push(slot);
+        // `conn` drops here, closing the socket.
+    }
+
+    /// Orderly teardown: stop accepting, let the currently-executing
+    /// request finish (dropping queued-unstarted ones), deliver its
+    /// completion, give buffered responses a bounded grace to flush,
+    /// close everything, and snapshot dirty graphs.
+    fn shutdown_drain(mut self) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        self.shared.jobs.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.drain_completions();
+        let deadline = Instant::now() + SHUTDOWN_FLUSH_GRACE;
+        loop {
+            let mut pending = false;
+            let mut failed = Vec::new();
+            for (slot, entry) in self.slots.iter_mut().enumerate() {
+                if let Some(conn) = entry.as_mut() {
+                    match conn.try_flush() {
+                        Ok(drained) => pending |= !drained,
+                        Err(_) => failed.push(slot), // peer gone
+                    }
+                }
+            }
+            for slot in failed {
+                self.close(slot);
+            }
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for slot in 0..self.slots.len() {
+            self.close(slot);
+        }
+        // With every connection closed and every worker joined, no more
+        // mutations can arrive: persist what they changed.
+        crate::server::autosave_dirty(&self.shared);
+    }
+}

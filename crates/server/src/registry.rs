@@ -42,12 +42,17 @@
 //! assert_eq!(registry.list().len(), 1);
 //! ```
 
+use crate::coalesce::Cell;
 use crate::engine::{EngineConfig, QueryEngine};
 use crate::{lock_mutex, read_lock, write_lock};
 use parscan_core::{IndexConfig, ScanIndex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Completion callback for [`GraphRegistry::load_path_deferred`].
+pub type LoadCallback =
+    Box<dyn FnOnce(Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>) + Send>;
 
 /// Registry construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -200,16 +205,29 @@ struct GraphEntry {
     last_used: AtomicU64,
 }
 
-/// The once-cell a load leader publishes through; `None` while loading.
-#[derive(Default)]
-struct LoadSlot {
-    state: Mutex<Option<Result<Arc<GraphEntry>, RegistryError>>>,
-    cv: Condvar,
-}
+/// The once-cell a load leader publishes through — the shared
+/// [`coalesce::Cell`](crate::coalesce::Cell) machinery, so followers can
+/// either block ([`Cell::wait`]) or subscribe a completion callback
+/// ([`Cell::on_ready`], the reactor path). The registry's slot map is
+/// also its residency map, so the cell lives inside [`Slot::Loading`]
+/// rather than a separate keyed [`crate::coalesce::Coalescer`]: leader
+/// registration must be atomic with the Ready-residency check under one
+/// lock.
+type LoadCell = Cell<Result<Arc<GraphEntry>, RegistryError>>;
 
 enum Slot {
     Ready(Arc<GraphEntry>),
-    Loading(Arc<LoadSlot>),
+    Loading(Arc<LoadCell>),
+}
+
+/// How a load attempt was classified against the slot map.
+enum RegisterLoad {
+    /// Name already resident.
+    Ready(Arc<QueryEngine>),
+    /// Someone else is loading this name; share their outcome.
+    Follower(Arc<LoadCell>),
+    /// This caller owns the load.
+    Leader(Arc<LoadCell>),
 }
 
 #[derive(Default)]
@@ -483,53 +501,76 @@ impl GraphRegistry {
             });
         }
         // Phase 1: register as leader, join as follower, or return early.
-        let load_slot = {
-            let mut slots = write_lock(&self.slots);
-            match slots.get(name) {
-                Some(Slot::Ready(entry)) => {
-                    entry.last_used.store(self.next_tick(), Ordering::Relaxed);
-                    return Ok((Arc::clone(&entry.engine), LoadOutcome::AlreadyLoaded));
-                }
-                Some(Slot::Loading(slot)) => {
-                    let slot = Arc::clone(slot);
-                    drop(slots);
-                    self.counters
-                        .coalesced_loads
-                        .fetch_add(1, Ordering::Relaxed);
-                    let mut state = lock_mutex(&slot.state);
-                    while state.is_none() {
-                        state = slot
-                            .cv
-                            .wait(state)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    }
-                    return match state.as_ref().expect("waited for Some") {
-                        Ok(entry) => Ok((Arc::clone(&entry.engine), LoadOutcome::Coalesced)),
-                        Err(e) => Err(e.clone()),
-                    };
-                }
-                None => {
-                    let slot = Arc::new(LoadSlot::default());
-                    slots.insert(name.to_string(), Slot::Loading(Arc::clone(&slot)));
-                    slot
-                }
+        match self.register_load(name) {
+            RegisterLoad::Ready(engine) => Ok((engine, LoadOutcome::AlreadyLoaded)),
+            RegisterLoad::Follower(cell) => {
+                self.counters
+                    .coalesced_loads
+                    .fetch_add(1, Ordering::Relaxed);
+                Self::follower_outcome(name, cell.wait())
             }
-        };
+            RegisterLoad::Leader(cell) => self.lead_load(name, cell, engine_config, build),
+        }
+    }
 
-        // Phase 2 (leader): build outside any lock, then admit. The
-        // guard guarantees followers are woken and the Loading slot is
-        // removed even if `build` unwinds.
+    /// Classify a load attempt against the slot map (one write lock).
+    fn register_load(&self, name: &str) -> RegisterLoad {
+        let mut slots = write_lock(&self.slots);
+        match slots.get(name) {
+            Some(Slot::Ready(entry)) => {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                RegisterLoad::Ready(Arc::clone(&entry.engine))
+            }
+            Some(Slot::Loading(cell)) => RegisterLoad::Follower(Arc::clone(cell)),
+            None => {
+                let cell = Arc::new(LoadCell::new());
+                slots.insert(name.to_string(), Slot::Loading(Arc::clone(&cell)));
+                RegisterLoad::Leader(cell)
+            }
+        }
+    }
+
+    /// Translate a follower's settled cell into the load result. `None`
+    /// (the cell was cancelled rather than published) cannot happen with
+    /// the guard in [`Self::lead_load`], which always publishes a value;
+    /// it is mapped to the same abandonment error for safety.
+    fn follower_outcome(
+        name: &str,
+        outcome: Option<Result<Arc<GraphEntry>, RegistryError>>,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError> {
+        match outcome {
+            Some(Ok(entry)) => Ok((Arc::clone(&entry.engine), LoadOutcome::Coalesced)),
+            Some(Err(e)) => Err(e),
+            None => Err(RegistryError::LoadFailed {
+                name: name.into(),
+                message: "load was abandoned".into(),
+            }),
+        }
+    }
+
+    /// Phase 2 (leader): build outside any lock, then admit. The guard
+    /// guarantees followers are woken and the Loading slot is removed
+    /// even if `build` unwinds.
+    fn lead_load<F>(
+        &self,
+        name: &str,
+        cell: Arc<LoadCell>,
+        engine_config: EngineConfig,
+        build: F,
+    ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>
+    where
+        F: FnOnce() -> Result<ScanIndex, String>,
+    {
         struct LoadGuard<'r> {
             registry: &'r GraphRegistry,
             name: String,
-            slot: Arc<LoadSlot>,
+            cell: Arc<LoadCell>,
             done: bool,
         }
         impl LoadGuard<'_> {
             fn publish(&mut self, outcome: Result<Arc<GraphEntry>, RegistryError>) {
                 self.done = true;
-                *lock_mutex(&self.slot.state) = Some(outcome);
-                self.slot.cv.notify_all();
+                self.cell.resolve(Some(outcome));
             }
         }
         impl Drop for LoadGuard<'_> {
@@ -542,18 +583,17 @@ impl GraphRegistry {
                         slots.remove(&self.name);
                     }
                     drop(slots);
-                    *lock_mutex(&self.slot.state) = Some(Err(RegistryError::LoadFailed {
+                    self.cell.resolve(Some(Err(RegistryError::LoadFailed {
                         name: self.name.clone(),
                         message: "load was abandoned".into(),
-                    }));
-                    self.slot.cv.notify_all();
+                    })));
                 }
             }
         }
         let mut guard = LoadGuard {
             registry: self,
             name: name.to_string(),
-            slot: load_slot,
+            cell,
             done: false,
         };
 
@@ -624,6 +664,40 @@ impl GraphRegistry {
         engine_config: EngineConfig,
     ) -> Result<(Arc<QueryEngine>, LoadOutcome), RegistryError> {
         self.load_with_config(name, engine_config, || build_index_from_path(path))
+    }
+
+    /// Event-driven sibling of [`Self::load_path_with_config`] for the
+    /// reactor's worker pool: `notify` fires exactly once — inline on
+    /// this thread when the name is resident or this caller leads the
+    /// build (the build itself runs synchronously here), later on the
+    /// leader's thread when the load coalesces onto someone else's. A
+    /// worker thread therefore never parks on another load's progress.
+    pub fn load_path_deferred(
+        &self,
+        name: &str,
+        path: &str,
+        engine_config: EngineConfig,
+        notify: LoadCallback,
+    ) {
+        if let Err(message) = validate_graph_name(name) {
+            return notify(Err(RegistryError::BadName {
+                name: name.into(),
+                message,
+            }));
+        }
+        match self.register_load(name) {
+            RegisterLoad::Ready(engine) => notify(Ok((engine, LoadOutcome::AlreadyLoaded))),
+            RegisterLoad::Follower(cell) => {
+                self.counters
+                    .coalesced_loads
+                    .fetch_add(1, Ordering::Relaxed);
+                let name = name.to_string();
+                cell.on_ready(move |outcome| notify(Self::follower_outcome(&name, outcome)));
+            }
+            RegisterLoad::Leader(cell) => {
+                notify(self.lead_load(name, cell, engine_config, || build_index_from_path(path)))
+            }
+        }
     }
 
     /// Remove a graph. Errors while a load of the same name is in
@@ -720,6 +794,7 @@ mod tests {
     use parscan_core::QueryParams;
     use parscan_graph::generators;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     fn small_index(seed: u64) -> ScanIndex {
         let (g, _) = generators::planted_partition(120, 3, 8.0, 1.0, seed);
@@ -943,6 +1018,100 @@ mod tests {
         // The name is free again; a retry succeeds.
         let (_, outcome) = r.load_with("g", || Ok(small_index(1))).unwrap();
         assert_eq!(outcome, LoadOutcome::Loaded);
+    }
+
+    #[test]
+    fn abandoned_load_fails_followers_and_frees_the_name() {
+        // The leader's build panics mid-flight. Followers (blocking and
+        // subscribed) must observe `LoadFailed { "load was abandoned" }`
+        // — not park forever — and the name must become loadable again.
+        // (Recovery from a *poisoned* cell lock itself is exercised in
+        // `coalesce::tests::wait_recovers_from_a_poisoned_cell_lock`;
+        // this covers the registry-level consequence of that unwind.)
+        let r = Arc::new(GraphRegistry::new("main", RegistryConfig::default()));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+
+        let leader = {
+            let r = Arc::clone(&r);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = r.load_with("doomed", || {
+                    gate.wait(); // followers may now register
+                    std::thread::sleep(Duration::from_millis(40));
+                    panic!("build exploded")
+                });
+            })
+        };
+        gate.wait();
+
+        // Blocking follower.
+        let blocking = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || r.load_with("doomed", || Ok(small_index(1))))
+        };
+        // Subscribed (reactor-path) follower.
+        let (tx, rx) = std::sync::mpsc::channel();
+        r.load_path_deferred(
+            "doomed",
+            "/nonexistent/never-read.graph",
+            EngineConfig::default(),
+            Box::new(move |outcome| {
+                tx.send(outcome.map(|(_, o)| o)).unwrap();
+            }),
+        );
+
+        assert!(leader.join().is_err(), "leader must have panicked");
+        let err = blocking.join().unwrap().unwrap_err();
+        assert!(
+            matches!(&err, RegistryError::LoadFailed { message, .. } if message.contains("abandoned")),
+            "{err}"
+        );
+        let deferred = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let err = deferred.unwrap_err();
+        assert!(
+            matches!(&err, RegistryError::LoadFailed { message, .. } if message.contains("abandoned")),
+            "{err}"
+        );
+
+        // The name is free again; a retry succeeds.
+        let (_, outcome) = r.load_with("doomed", || Ok(small_index(1))).unwrap();
+        assert_eq!(outcome, LoadOutcome::Loaded);
+    }
+
+    #[test]
+    fn deferred_load_coalesces_onto_an_in_flight_leader() {
+        let r = Arc::new(GraphRegistry::new("main", RegistryConfig::default()));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+
+        let leader = {
+            let r = Arc::clone(&r);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                r.load_with("shared", || {
+                    gate.wait();
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok(small_index(2))
+                })
+            })
+        };
+        gate.wait();
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        r.load_path_deferred(
+            "shared",
+            "/nonexistent/never-read.graph",
+            EngineConfig::default(),
+            Box::new(move |outcome| {
+                tx.send(outcome.map(|(_, o)| o)).unwrap();
+            }),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            LoadOutcome::Coalesced,
+            "the deferred follower must ride the leader's build, not read the path"
+        );
+        assert_eq!(leader.join().unwrap().unwrap().1, LoadOutcome::Loaded);
+        assert!(r.stats().coalesced_loads >= 1);
     }
 
     #[test]

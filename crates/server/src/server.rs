@@ -1,36 +1,42 @@
-//! The TCP serving loop: per-connection sessions over `std::net`, a
-//! graceful shutdown path, and server-level counters.
+//! The TCP serving layer: a readiness-polled reactor (the private
+//! `reactor` module) multiplexes every connection on one thread, a small
+//! fixed worker pool executes parsed requests, and admission control
+//! sheds load past configured bounds instead of queuing it unboundedly.
 //!
-//! One thread per connection reads newline-terminated requests, resolves
-//! each against the shared [`GraphRegistry`] (the default graph unless
-//! the request carries an `@name` address), and writes one JSON line per
-//! request. Connection reads use a short timeout so every session thread
-//! notices the shutdown flag promptly; `shutdown()` (or a client's
-//! `SHUTDOWN` command) flips the flag, unblocks the acceptor with a
-//! loopback connection, and joins every session before returning, so no
-//! request is dropped mid-write.
+//! Requests are newline-terminated lines, each resolved against the
+//! shared [`GraphRegistry`] (the default graph unless the request
+//! carries an `@name` address) and answered with one JSON line. The
+//! per-connection state machine lives in the private `conn` module; this
+//! module owns the protocol dispatch (`handle_request`), server-wide
+//! state, and the public `serve*` entry points. `shutdown()` (or a
+//! client's `SHUTDOWN` command) flips the flag and wakes the reactor,
+//! which stops accepting, lets the in-flight request finish, flushes
+//! buffered responses under a bounded grace, and snapshots dirty graphs
+//! before exiting — no response is dropped mid-write.
 
 use crate::batch::BatchExecutor;
-use crate::engine::{EngineConfig, QueryEngine};
-use crate::protocol::{parse_request, Request, Response, StatsGraph, StoreStats};
-use crate::registry::GraphRegistry;
+use crate::engine::QueryEngine;
+use crate::protocol::{ReactorStats, Request, Response, StatsGraph, StoreStats};
+use crate::reactor::{Completions, JobQueue, Reactor, ReactorMetrics, ServeConfig};
+use crate::registry::{GraphRegistry, LoadOutcome, RegistryError};
 use parscan_store::{AuditKind, IndexStore};
-use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Shared server state.
-struct ServerShared {
-    registry: Arc<GraphRegistry>,
+/// Shared server state: the hosted registry, the optional durable
+/// store, and the reactor's counters and queues.
+pub(crate) struct ServerShared {
+    pub(crate) registry: Arc<GraphRegistry>,
     /// The durable store, when the server was started with one
     /// ([`serve_with_store`]); enables `SAVE` and manifest-aware
     /// `LIST`/`STATS`.
-    store: Option<Arc<IndexStore>>,
-    shutdown: AtomicBool,
-    /// Total sessions ever accepted.
-    sessions: AtomicU64,
+    pub(crate) store: Option<Arc<IndexStore>>,
+    pub(crate) shutdown: AtomicBool,
+    /// The reactor→worker queue; its depth is admission control's gauge.
+    pub(crate) jobs: Arc<JobQueue>,
+    pub(crate) metrics: ReactorMetrics,
 }
 
 impl ServerShared {
@@ -39,7 +45,7 @@ impl ServerShared {
     /// absent graph is an error (top-level and batched alike); an
     /// unaddressed `STATS` still reports registry counters even when the
     /// default graph has been unloaded.
-    fn stats_response(&self, graph: Option<&str>, session_requests: u64) -> Response {
+    pub(crate) fn stats_response(&self, graph: Option<&str>, session_requests: u64) -> Response {
         let resolved = match graph {
             Some(name) => match self.registry.get(Some(name)) {
                 Ok(pair) => Some(pair),
@@ -54,13 +60,13 @@ impl ServerShared {
         let graph = resolved.map(|(name, engine)| {
             let index = engine.index();
             let g = index.graph();
-            StatsGraph {
+            Box::new(StatsGraph {
                 name,
                 engine: engine.stats(),
                 graph_n: g.num_vertices(),
                 graph_m: g.num_edges(),
                 breakpoints: engine.num_breakpoints(),
-            }
+            })
         });
         Response::Stats {
             graph,
@@ -73,7 +79,15 @@ impl ServerShared {
                     audit_seq: s.audit_next_seq(),
                 }
             }),
-            sessions: self.sessions.load(Ordering::Relaxed),
+            reactor: ReactorStats {
+                connections: self.metrics.connections.load(Ordering::Relaxed),
+                accepted: self.metrics.accepted.load(Ordering::Relaxed),
+                queue_depth: self.jobs.depth(),
+                queue_limit: self.metrics.queue_limit,
+                shed_requests: self.metrics.shed_requests.load(Ordering::Relaxed),
+                shed_connections: self.metrics.shed_connections.load(Ordering::Relaxed),
+                workers: self.metrics.workers,
+            },
             session_requests,
         }
     }
@@ -88,13 +102,31 @@ impl ServerShared {
     }
 }
 
+/// Snapshot every still-resident graph whose index was mutated since
+/// its last `SAVE`. Runs after the reactor has closed every connection
+/// and joined every worker — no more mutations can arrive — so a clean
+/// shutdown never loses applied updates.
+pub(crate) fn autosave_dirty(shared: &ServerShared) {
+    if let Some(store) = &shared.store {
+        for name in store.dirty_names() {
+            let Ok((canonical, engine)) = shared.registry.get(Some(&name)) else {
+                continue; // unloaded since the mutation; nothing to save
+            };
+            let pinned = canonical == shared.registry.default_name();
+            let cache_capacity = engine.stats().cache_capacity;
+            let _ = store.save(&canonical, &engine.index(), pinned, cache_capacity);
+        }
+    }
+}
+
 /// A running server; dropping the handle does **not** stop it — call
 /// [`ServerHandle::shutdown`] (or send `SHUTDOWN` over a connection and
 /// [`ServerHandle::wait`]).
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    completions: Arc<Completions>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -118,13 +150,13 @@ impl ServerHandle {
             .1
     }
 
-    /// Request shutdown and block until the acceptor and every session
-    /// thread have exited.
+    /// Request shutdown and block until the reactor (and every worker it
+    /// owns) has exited.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor with a throwaway loopback connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        // Interrupt the reactor's poll so it notices immediately.
+        self.completions.wake();
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -132,7 +164,7 @@ impl ServerHandle {
     /// Block until the server stops on its own (a client sent
     /// `SHUTDOWN`).
     pub fn wait(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(t) = self.reactor_thread.take() {
             let _ = t.join();
         }
     }
@@ -143,14 +175,23 @@ impl ServerHandle {
     }
 }
 
-/// Bind `addr` and serve every graph in `registry` until shutdown.
-/// Returns once the listener is bound and accepting, so callers may
-/// connect immediately.
+/// Bind `addr` and serve every graph in `registry` until shutdown, with
+/// default [`ServeConfig`] bounds. Returns once the listener is bound
+/// and accepting, so callers may connect immediately.
 pub fn serve(
     registry: Arc<GraphRegistry>,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ServerHandle> {
-    serve_inner(registry, addr, None)
+    serve_inner(registry, addr, None, ServeConfig::default())
+}
+
+/// [`serve`] with explicit reactor and admission-control bounds.
+pub fn serve_with_config(
+    registry: Arc<GraphRegistry>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    serve_inner(registry, addr, None, config)
 }
 
 /// [`serve`] backed by a durable [`IndexStore`]: enables the `SAVE`
@@ -162,39 +203,53 @@ pub fn serve_with_store(
     store: Arc<IndexStore>,
     addr: impl ToSocketAddrs,
 ) -> std::io::Result<ServerHandle> {
+    serve_with_store_and_config(registry, store, addr, ServeConfig::default())
+}
+
+/// [`serve_with_store`] with explicit reactor bounds.
+pub fn serve_with_store_and_config(
+    registry: Arc<GraphRegistry>,
+    store: Arc<IndexStore>,
+    addr: impl ToSocketAddrs,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     // Evictions happen inside registry admission, far from any protocol
     // handler — the hook routes them into the audit log.
     let audit_store = Arc::clone(&store);
     registry.set_evict_hook(Box::new(move |name| {
         let _ = audit_store.record(AuditKind::Evict, Some(name), "reason=budget");
     }));
-    serve_inner(registry, addr, Some(store))
+    serve_inner(registry, addr, Some(store), config)
 }
 
 fn serve_inner(
     registry: Arc<GraphRegistry>,
     addr: impl ToSocketAddrs,
     store: Option<Arc<IndexStore>>,
+    config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let workers = config.effective_workers();
     let shared = Arc::new(ServerShared {
         registry,
         store,
         shutdown: AtomicBool::new(false),
-        sessions: AtomicU64::new(0),
+        jobs: Arc::new(JobQueue::new(config.queue_limit)),
+        metrics: ReactorMetrics::new(config.queue_limit, workers),
     });
 
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("parscan-serve-accept".into())
-        .spawn(move || accept_loop(listener, accept_shared))
-        .expect("failed to spawn acceptor");
+    let reactor = Reactor::new(listener, Arc::clone(&shared), config)?;
+    let completions = reactor.completions();
+    let reactor_thread = std::thread::Builder::new()
+        .name("parscan-serve-reactor".into())
+        .spawn(move || reactor.run())?;
 
     Ok(ServerHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
+        completions,
+        reactor_thread: Some(reactor_thread),
     })
 }
 
@@ -208,181 +263,66 @@ pub fn serve_engine(
     serve(GraphRegistry::single(engine), addr)
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<ServerShared>) {
-    // Only this thread touches the handle list; sessions are joined here
-    // on shutdown so no request is dropped mid-write.
-    let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else {
-            // Persistent accept errors (e.g. EMFILE under fd exhaustion)
-            // would otherwise spin this thread at 100% CPU.
-            std::thread::sleep(Duration::from_millis(10));
-            continue;
-        };
-        let session_id = shared.sessions.fetch_add(1, Ordering::Relaxed);
-        let session_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name(format!("parscan-serve-session-{session_id}"))
-            .spawn(move || session_loop(stream, session_shared))
-            .expect("failed to spawn session");
-        // Opportunistically reap finished sessions so the vec stays small
-        // on long-running servers.
-        sessions.retain(|h| !h.is_finished());
-        sessions.push(handle);
-    }
-    // Drain every live session before reporting the server stopped.
-    for h in sessions {
-        let _ = h.join();
-    }
-    // With every session drained no more mutations can arrive: snapshot
-    // every still-resident graph whose index was mutated since its last
-    // SAVE, so a clean shutdown never loses applied updates.
-    if let Some(store) = &shared.store {
-        for name in store.dirty_names() {
-            let Ok((canonical, engine)) = shared.registry.get(Some(&name)) else {
-                continue; // unloaded since the mutation; nothing to save
-            };
-            let pinned = canonical == shared.registry.default_name();
-            let cache_capacity = engine.stats().cache_capacity;
-            let _ = store.save(&canonical, &engine.index(), pinned, cache_capacity);
-        }
-    }
-}
-
-/// Longest accepted request line. Untrusted clients must not be able to
-/// grow a session buffer without bound by never sending a newline.
-const MAX_LINE_BYTES: usize = 64 * 1024;
-
-/// Append one newline-terminated line to `line`, enforcing
-/// [`MAX_LINE_BYTES`] *while accumulating* — `BufRead::read_line` would
-/// buffer a continuously streamed newline-free payload in full before
-/// any cap could fire. Returns the line length on success, `Ok(0)` on
-/// EOF; `WouldBlock`/`TimedOut` propagate with the partial line retained
-/// in `line`, and an over-long line yields `ErrorKind::InvalidData`.
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
-    loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            // EOF. A partial unterminated line is dropped by the caller.
-            return Ok(0);
-        }
-        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
-            Some(i) => (&buf[..=i], true),
-            None => (buf, false),
-        };
-        // The protocol is ASCII; lossy conversion keeps framing intact
-        // for any bytes a client sends.
-        line.push_str(&String::from_utf8_lossy(chunk));
-        let consumed = chunk.len();
-        reader.consume(consumed);
-        if line.len() > MAX_LINE_BYTES {
-            return Err(std::io::Error::new(
-                ErrorKind::InvalidData,
-                format!("request exceeds {MAX_LINE_BYTES} bytes"),
-            ));
-        }
-        if done {
-            return Ok(line.len());
-        }
-    }
-}
-
-/// Serve one connection until QUIT/SHUTDOWN, EOF, I/O error, or server
-/// shutdown.
-fn session_loop(stream: TcpStream, shared: Arc<ServerShared>) {
-    let _ = stream.set_nodelay(true);
-    // Short read timeout: the loop polls the shutdown flag between reads.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    let mut session_requests = 0u64;
-
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_bounded_line(&mut reader, &mut line) {
-            Ok(0) => return, // EOF: client hung up
-            Ok(_) => {}
-            // Timeout mid-request: the partial line stays in `line`; keep
-            // polling the shutdown flag and resume reading.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(e) if e.kind() == ErrorKind::InvalidData => {
-                let err = Response::Error {
-                    message: e.to_string(),
-                };
-                let _ = writer.write_all(format!("{}\n", err.render_json()).as_bytes());
-                let _ = writer.flush();
-                // Closing with unread inbound bytes raises TCP RST, which
-                // can discard the error response before the client reads
-                // it. Drain a bounded amount so a merely-confused client
-                // gets the message and a clean FIN; a hostile streamer
-                // still gets cut off.
-                let mut sink = [0u8; 8192];
-                let mut drained = 0usize;
-                while drained < (1 << 20) {
-                    match std::io::Read::read(reader.get_mut(), &mut sink) {
-                        Ok(0) | Err(_) => break,
-                        Ok(n) => drained += n,
-                    }
-                }
-                return;
-            }
-            Err(_) => return,
-        }
-        if line.trim().is_empty() {
-            line.clear();
-            continue;
-        }
-        session_requests += 1;
-
-        let (response, control) = handle_line(&line, &shared, session_requests);
-        line.clear();
-        let mut payload = response.render_json();
-        payload.push('\n');
-        if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        match control {
-            Control::Continue => {}
-            Control::Close => return,
-            Control::ShutdownServer => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                // Unblock the acceptor so it can drain sessions and exit.
-                if let Ok(local) = reader.get_ref().local_addr() {
-                    let _ = TcpStream::connect(local);
-                }
-                return;
-            }
-        }
-    }
-}
-
-enum Control {
+/// What the connection should do after its response is written.
+pub(crate) enum Control {
     Continue,
     Close,
     ShutdownServer,
 }
 
-fn handle_line(
-    line: &str,
+/// Build the `LOAD` acknowledgement (and audit record) from a load's
+/// result — shared by the synchronous path in [`handle_request`] and
+/// the deferred-follower callback in the reactor's worker pool.
+pub(crate) fn load_response(
+    shared: &ServerShared,
+    name: String,
+    path: &str,
+    start: Instant,
+    result: Result<(Arc<QueryEngine>, LoadOutcome), RegistryError>,
+) -> Response {
+    match result {
+        Ok((engine, outcome)) => {
+            let index = engine.index();
+            let g = index.graph();
+            let millis = start.elapsed().as_millis() as u64;
+            if outcome == LoadOutcome::Loaded {
+                if let Some(store) = &shared.store {
+                    let kind = if path.ends_with(".pscidx") {
+                        AuditKind::Load
+                    } else {
+                        AuditKind::Build
+                    };
+                    let _ = store.record(
+                        kind,
+                        Some(&name),
+                        &format!("n={} m={} millis={millis}", g.num_vertices(), g.num_edges()),
+                    );
+                }
+            }
+            Response::Loaded {
+                name,
+                outcome,
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                bytes: engine.index().memory_bytes(),
+                millis,
+            }
+        }
+        Err(e) => Response::Error {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Dispatch one parsed request. `CLUSTER` and `LOAD` take this
+/// synchronous path only as a fallback — the worker pool routes them
+/// through the deferred engine/registry entry points so coalesced
+/// followers don't hold a worker thread.
+pub(crate) fn handle_request(
+    request: Request,
     shared: &Arc<ServerShared>,
     session_requests: u64,
 ) -> (Response, Control) {
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(message) => return (Response::Error { message }, Control::Continue),
-    };
     let registry = &shared.registry;
     // Resolve a query's graph address to its engine, turning registry
     // errors (unknown name, still loading) into protocol error messages.
@@ -403,47 +343,13 @@ fn handle_line(
         ),
         Request::Load { name, path, cache } => {
             let start = Instant::now();
-            let config = EngineConfig {
+            let config = crate::engine::EngineConfig {
                 cache_capacity: cache.unwrap_or(registry.engine_config().cache_capacity),
                 ..registry.engine_config()
             };
+            let result = registry.load_path_with_config(&name, &path, config);
             (
-                match registry.load_path_with_config(&name, &path, config) {
-                    Ok((engine, outcome)) => {
-                        let index = engine.index();
-                        let g = index.graph();
-                        let millis = start.elapsed().as_millis() as u64;
-                        if outcome == crate::registry::LoadOutcome::Loaded {
-                            if let Some(store) = &shared.store {
-                                let kind = if path.ends_with(".pscidx") {
-                                    AuditKind::Load
-                                } else {
-                                    AuditKind::Build
-                                };
-                                let _ = store.record(
-                                    kind,
-                                    Some(&name),
-                                    &format!(
-                                        "n={} m={} millis={millis}",
-                                        g.num_vertices(),
-                                        g.num_edges()
-                                    ),
-                                );
-                            }
-                        }
-                        Response::Loaded {
-                            name,
-                            outcome,
-                            vertices: g.num_vertices(),
-                            edges: g.num_edges(),
-                            bytes: engine.index().memory_bytes(),
-                            millis,
-                        }
-                    }
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
-                },
+                load_response(shared, name, &path, start, result),
                 Control::Continue,
             )
         }
@@ -597,7 +503,9 @@ mod tests {
     use crate::engine::EngineConfig;
     use parscan_core::{IndexConfig, ScanIndex};
     use parscan_graph::generators;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
 
     fn spawn_server() -> ServerHandle {
         let (g, _) = generators::planted_partition(200, 4, 9.0, 1.0, 5);
@@ -632,6 +540,31 @@ mod tests {
         assert!(out[2].contains(r#""op":"stats""#));
         assert!(out[2].contains(r#""n":200"#));
         assert!(out[3].contains(r#""op":"bye""#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_surface_reactor_counters() {
+        let server = spawn_server();
+        let out = roundtrip(server.addr(), &["STATS", "QUIT"]);
+        // This session is registered and counted while its STATS runs.
+        assert!(
+            out[0].contains(r#""reactor":{"connections":1,"accepted":1"#),
+            "{}",
+            out[0]
+        );
+        assert!(out[0].contains(r#""queue_limit":1024"#), "{}", out[0]);
+        assert!(
+            out[0].contains(r#""shed_requests":0,"shed_connections":0"#),
+            "{}",
+            out[0]
+        );
+        assert!(out[0].contains(r#""session_requests":1"#), "{}", out[0]);
+        assert!(
+            !out[0].contains(r#""sessions":"#),
+            "replaced field: {}",
+            out[0]
+        );
         server.shutdown();
     }
 

@@ -13,6 +13,8 @@
 //!                  [--host H] [--cache N]          more resident indexes
 //!                  [--name NAME] [--graph NAME=PATH]...
 //!                  [--budget MIB] [--max-graphs N]
+//!                  [--workers N] [--max-conns N]    reactor sizing and
+//!                  [--queue N]                      admission-control bounds
 //!                  [--store-dir DIR]               durable store: SAVE verb +
 //!                                                  warm boot on restart
 //! parscan convert  <in> <out>                      convert between formats
@@ -63,6 +65,7 @@ const USAGE: &str = "usage:
   parscan sweep    <graph|index.pscidx> [--eps-step S]
   parscan serve    [graph|index.pscidx] --port P [--host H] [--cache N] [--jaccard] [--approx K]
                    [--name NAME] [--graph NAME=PATH]... [--budget MIB] [--max-graphs N]
+                   [--workers N] [--max-conns N] [--queue N]   (reactor + admission bounds)
                    [--store-dir DIR]   (path optional when DIR warm-boots a saved working set)
   parscan convert  <in> <out>          (formats by extension: .bin, .graph/.metis, text)
   parscan generate (rmat|er|sbm|wsbm) --n N [--deg D] [--seed S] --out FILE";
@@ -277,7 +280,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use parscan::server::{serve_with_store, warm_boot};
+    use parscan::server::{serve_with_config, serve_with_store_and_config, warm_boot, ServeConfig};
     use parscan::store::IndexStore;
     use std::sync::Arc;
 
@@ -290,6 +293,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let budget_mib: Option<usize> = parse(args, "--budget")?;
     let max_graphs: usize = parse(args, "--max-graphs")?.unwrap_or(64);
     let store_dir = flag(args, "--store-dir");
+    let defaults = ServeConfig::default();
+    let serve_config = ServeConfig {
+        workers: parse(args, "--workers")?.unwrap_or(defaults.workers),
+        max_connections: parse(args, "--max-conns")?.unwrap_or(defaults.max_connections),
+        queue_limit: parse(args, "--queue")?.unwrap_or(defaults.queue_limit),
+        ..defaults
+    };
 
     let store = store_dir
         .map(|dir| IndexStore::open(&dir).map_err(|e| format!("cannot open store {dir}: {e}")))
@@ -364,12 +374,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     let server = match &store {
-        Some(store) => serve_with_store(
+        Some(store) => serve_with_store_and_config(
             Arc::clone(&registry),
             Arc::clone(store),
             (host.as_str(), port),
+            serve_config,
         ),
-        None => serve(Arc::clone(&registry), (host.as_str(), port)),
+        None => serve_with_config(Arc::clone(&registry), (host.as_str(), port), serve_config),
     }
     .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
     let stats = registry.stats();
