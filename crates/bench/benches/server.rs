@@ -15,8 +15,8 @@ use parscan_core::{
 };
 use parscan_graph::generators;
 use parscan_server::{
-    serve_engine, serve_with_config, BatchExecutor, EngineConfig, GraphRegistry, QueryEngine,
-    Request, Response, ServeConfig,
+    serve_engine, serve_with_config, serve_with_store_and_config, BatchExecutor, EngineConfig,
+    GraphRegistry, QueryEngine, Request, Response, ServeConfig,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -410,6 +410,107 @@ fn main() {
     drop(occupants);
     server.shutdown();
 
+    // --- Degraded mode: hot path under store faults + deadlines --------
+    // The resilience tax, priced: the same cache-hot round-trip, but on
+    // a store-backed server with per-request deadlines enforced while a
+    // writer connection streams real SAVE traffic whose store I/O fails
+    // 1% of the time (injected at the fsync) and whose audit appends
+    // tear at the same rate. Failed saves come back as typed retryable
+    // errors; the hot read path should barely notice any of it.
+    let store_dir =
+        std::env::temp_dir().join(format!("parscan-bench-degraded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).expect("create store dir");
+    let store = Arc::new(parscan_store::IndexStore::open(&store_dir).expect("open store"));
+    let server = serve_with_store_and_config(
+        GraphRegistry::single(Arc::clone(&engine)),
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        ServeConfig {
+            deadline: Some(std::time::Duration::from_millis(250)),
+            ..Default::default()
+        },
+    )
+    .expect("bind degraded server");
+    failpoint::configure("persist.sync", "every(100)").expect("arm persist.sync");
+    failpoint::configure("audit.append", "every(100)").expect("arm audit.append");
+    const DEGRADED_TARGET_SAVES: u64 = 120;
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let saves_done = std::sync::atomic::AtomicU64::new(0);
+    let (degraded_rtt_micros, degraded_rounds, degraded_saves, save_retryables) =
+        std::thread::scope(|s| {
+            let writer = {
+                let (stop, saves_done) = (&stop, &saves_done);
+                let addr = server.addr();
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("writer connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut line = String::new();
+                    let mut retryable = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        stream.write_all(b"SAVE\n").unwrap();
+                        line.clear();
+                        if reader.read_line(&mut line).unwrap() == 0 {
+                            break;
+                        }
+                        saves_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if line.contains(r#""retryable":true"#) {
+                            retryable += 1;
+                        }
+                    }
+                    retryable
+                })
+            };
+            let mut stream = TcpStream::connect(server.addr()).expect("connect degraded");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            // Measure for at least the standard round count and keep
+            // going until the writer has pushed enough saves through the
+            // 1%-fault store for the injection to land (bounded at 30s).
+            let cap = Instant::now();
+            let mut rounds = 0usize;
+            let (degraded_secs, _) = secs(|| loop {
+                stream.write_all(b"CLUSTER 3 0.4\n").unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                rounds += 1;
+                let saves = saves_done.load(std::sync::atomic::Ordering::Relaxed);
+                if rounds >= RTT_ROUNDS
+                    && (saves >= DEGRADED_TARGET_SAVES || cap.elapsed().as_secs() >= 30)
+                {
+                    break;
+                }
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let retryable = writer.join().expect("writer");
+            (
+                degraded_secs / rounds as f64 * 1e6,
+                rounds,
+                saves_done.load(std::sync::atomic::Ordering::Relaxed),
+                retryable,
+            )
+        });
+    failpoint::remove("persist.sync");
+    failpoint::remove("audit.append");
+    let store_io_errors = store.io_error_count();
+    let audit_failures = store.audit_failure_count();
+    assert!(
+        save_retryables >= store_io_errors.min(1),
+        "injected store faults must surface as typed retryable SAVE errors"
+    );
+    let degraded_overhead = degraded_rtt_micros / rtt_micros;
+    println!(
+        "degraded: hot round-trip {degraded_rtt_micros:.1}µs/query over {degraded_rounds} rounds \
+         ({degraded_overhead:.2}x unloaded) with deadlines on and {degraded_saves} concurrent \
+         saves ({store_io_errors} injected store faults -> {save_retryables} retryable responses, \
+         {audit_failures} audit tears)",
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     let stats = engine.stats();
     let json = format!(
         concat!(
@@ -425,6 +526,9 @@ fn main() {
             r#""tcp_hot_rtt_micros":{:.2},"#,
             r#""saturated_sessions":{},"saturated_rtt_micros":{:.2},"#,
             r#""shed_probes":{},"shed_latency_micros":{:.2},"#,
+            r#""degraded_rtt_micros":{:.2},"degraded_overhead":{:.3},"#,
+            r#""degraded_saves":{},"degraded_store_io_errors":{},"#,
+            r#""degraded_retryable_responses":{},"degraded_audit_failures":{},"#,
             r#""cache_hit_rate":{:.4}}}"#
         ),
         n,
@@ -453,6 +557,12 @@ fn main() {
         saturated_rtt_micros,
         SHED_PROBES,
         shed_latency_micros,
+        degraded_rtt_micros,
+        degraded_overhead,
+        degraded_saves,
+        store_io_errors,
+        save_retryables,
+        audit_failures,
         stats.hit_rate(),
     );
     println!("{json}");

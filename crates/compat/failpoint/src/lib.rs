@@ -1,0 +1,391 @@
+//! Named fault-injection points, std-only.
+//!
+//! A *failpoint* is a named site in production code where a test (or an
+//! operator chasing a bug) can inject a failure: an I/O error, an
+//! ENOSPC, a short write, a delay, a panic, or a hard process exit.
+//! Sites are cheap enough to leave in release builds — when no policy
+//! has ever been configured, every check is a single relaxed atomic
+//! load and a predictable branch.
+//!
+//! ```no_run
+//! # let file = std::fs::File::open("/dev/null")?;
+//! // Production code marks the site:
+//! failpoint::check("persist.sync")?;
+//! file.sync_all()?;
+//!
+//! // A test arms it:
+//! failpoint::configure("persist.sync", "error").unwrap();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Policies (the *spec* grammar, also accepted from the
+//! `PARSCAN_FAILPOINTS` environment variable as `name=spec;name=spec`):
+//!
+//! | spec        | behavior at the site                                  |
+//! |-------------|-------------------------------------------------------|
+//! | `off`       | disarm (hit counting continues)                       |
+//! | `error`     | fail every hit with a generic `io::Error`             |
+//! | `error(N)`  | fail the next N hits, then pass                       |
+//! | `enospc`    | fail every hit with `ENOSPC` (os error 28)            |
+//! | `enospc(N)` | fail the next N hits with `ENOSPC`, then pass         |
+//! | `short(K)`  | short-write: report only K bytes accepted, then error |
+//! | `delay(MS)` | sleep MS milliseconds, then pass                      |
+//! | `panic`     | panic every hit (≈ crash for on-disk state)           |
+//! | `panic(N)`  | panic the next N hits, then pass                      |
+//! | `exit`      | `process::exit(86)` — a real kill for child-process tests |
+//! | `every(N)`  | fail every Nth hit (fractional fault rates for benches) |
+//!
+//! The registry is global and process-wide, which is exactly what the
+//! torture tests want: they configure a site, run the scenario, and
+//! [`clear`] on the way out. Tests that arm failpoints must not share a
+//! process with tests that assume clean I/O — the suites in
+//! `tests/store_faults.rs` serialize on a mutex for this reason.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Fast-path gate: false until the first `configure`/`init_from_env`
+/// arms anything, and every check bails after one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// What an armed site does when hit.
+#[derive(Clone, Debug, PartialEq)]
+enum Policy {
+    /// Disarmed; hits are still counted.
+    Off,
+    /// Fail with a generic I/O error; `remaining=None` means forever.
+    Error { remaining: Option<u64> },
+    /// Fail with ENOSPC (os error 28).
+    Enospc { remaining: Option<u64> },
+    /// Report a short write of `accept` bytes (the caller is expected
+    /// to have written that prefix), then fail subsequent hits.
+    Short { accept: usize },
+    /// Sleep, then pass.
+    Delay { ms: u64 },
+    /// Panic at the site; `remaining=None` means forever.
+    Panic { remaining: Option<u64> },
+    /// Hard process exit — a genuine kill for spawned-binary tests.
+    Exit,
+    /// Fail every Nth hit with a generic I/O error.
+    Every { n: u64 },
+}
+
+#[derive(Debug)]
+struct Site {
+    policy: Policy,
+    hits: u64,
+}
+
+fn generic(name: &str) -> io::Error {
+    io::Error::other(format!("injected fault at failpoint {name:?}"))
+}
+
+fn enospc() -> io::Error {
+    // os error 28 == ENOSPC; construct via raw code so we don't depend
+    // on ErrorKind::StorageFull being stable on this toolchain.
+    io::Error::from_raw_os_error(28)
+}
+
+fn parse_spec(spec: &str) -> Result<Policy, String> {
+    let spec = spec.trim();
+    let (head, arg) = match spec.find('(') {
+        Some(i) => {
+            let Some(inner) = spec[i..]
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+            else {
+                return Err(format!("malformed failpoint spec {spec:?}"));
+            };
+            (&spec[..i], Some(inner))
+        }
+        None => (spec, None),
+    };
+    let num = |what: &str| -> Result<u64, String> {
+        arg.ok_or_else(|| format!("failpoint spec {head:?} needs ({what})"))?
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("bad {what} in failpoint spec {spec:?}"))
+    };
+    match (head, arg) {
+        ("off", None) => Ok(Policy::Off),
+        ("error", None) => Ok(Policy::Error { remaining: None }),
+        ("error", Some(_)) => Ok(Policy::Error {
+            remaining: Some(num("N")?),
+        }),
+        ("enospc", None) => Ok(Policy::Enospc { remaining: None }),
+        ("enospc", Some(_)) => Ok(Policy::Enospc {
+            remaining: Some(num("N")?),
+        }),
+        ("short", Some(_)) => Ok(Policy::Short {
+            accept: num("K")? as usize,
+        }),
+        ("delay", Some(_)) => Ok(Policy::Delay { ms: num("MS")? }),
+        ("panic", None) => Ok(Policy::Panic { remaining: None }),
+        ("panic", Some(_)) => Ok(Policy::Panic {
+            remaining: Some(num("N")?),
+        }),
+        ("exit", None) => Ok(Policy::Exit),
+        ("every", Some(_)) => {
+            let n = num("N")?;
+            if n == 0 {
+                return Err("every(0) is meaningless".into());
+            }
+            Ok(Policy::Every { n })
+        }
+        _ => Err(format!("unknown failpoint spec {spec:?}")),
+    }
+}
+
+/// Arm (or disarm, with `"off"`) the named failpoint with a policy spec.
+pub fn configure(name: &str, spec: &str) -> Result<(), String> {
+    let policy = parse_spec(spec)?;
+    let mut map = registry().lock().unwrap();
+    let site = map.entry(name.to_string()).or_insert(Site {
+        policy: Policy::Off,
+        hits: 0,
+    });
+    site.policy = policy;
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Disarm and forget one site (its hit count included).
+pub fn remove(name: &str) {
+    registry().lock().unwrap().remove(name);
+}
+
+/// Disarm and forget every site. The global gate stays up once tripped:
+/// re-arming later in the same process works, and a raised gate over an
+/// empty registry still short-circuits per check at one map lookup.
+pub fn clear() {
+    registry().lock().unwrap().clear();
+}
+
+/// How many times the named site has been reached since it was first
+/// configured (armed or `off`). Unconfigured sites report 0.
+pub fn hits(name: &str) -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map(|s| s.hits)
+        .unwrap_or(0)
+}
+
+/// True once any site has ever been configured in this process.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The failpoint gate for error/delay/panic/exit policies. Disabled:
+/// one relaxed load, `Ok(())`. Armed: act per the site's policy.
+#[inline]
+pub fn check(name: &str) -> io::Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    check_slow(name)
+}
+
+fn check_slow(name: &str) -> io::Result<()> {
+    let action = {
+        let mut map = registry().lock().unwrap();
+        let Some(site) = map.get_mut(name) else {
+            return Ok(());
+        };
+        site.hits += 1;
+        let hits = site.hits;
+        match &mut site.policy {
+            Policy::Off | Policy::Short { .. } => return Ok(()),
+            Policy::Error { remaining } => match take(remaining) {
+                true => Action::Error,
+                false => return Ok(()),
+            },
+            Policy::Enospc { remaining } => match take(remaining) {
+                true => Action::Enospc,
+                false => return Ok(()),
+            },
+            Policy::Delay { ms } => Action::Delay(*ms),
+            Policy::Panic { remaining } => match take(remaining) {
+                true => Action::Panic,
+                false => return Ok(()),
+            },
+            Policy::Exit => Action::Exit,
+            Policy::Every { n } => {
+                if hits % *n == 0 {
+                    Action::Error
+                } else {
+                    return Ok(());
+                }
+            }
+        }
+    }; // lock dropped before sleeping/panicking
+    match action {
+        Action::Error => Err(generic(name)),
+        Action::Enospc => Err(enospc()),
+        Action::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+        Action::Panic => panic!("injected panic at failpoint {name:?}"),
+        Action::Exit => std::process::exit(86),
+    }
+}
+
+enum Action {
+    Error,
+    Enospc,
+    Delay(u64),
+    Panic,
+    Exit,
+}
+
+/// Decrement a bounded counter; returns whether this hit should fail.
+/// `None` (unbounded) always fails.
+fn take(remaining: &mut Option<u64>) -> bool {
+    match remaining {
+        None => true,
+        Some(0) => false,
+        Some(n) => {
+            *n -= 1;
+            true
+        }
+    }
+}
+
+/// The failpoint gate for write sites that can tear. Returns
+/// `Some(accept)` when the named site is armed with `short(K)`: the
+/// caller should write only the first `accept` bytes of its `full_len`
+/// payload and then fail. Returns `None` to proceed normally (any
+/// non-short policy at the site is handled by [`check`], which write
+/// sites call first).
+#[inline]
+pub fn short_write(name: &str, full_len: usize) -> Option<usize> {
+    if !enabled() {
+        return None;
+    }
+    let mut map = registry().lock().unwrap();
+    let site = map.get_mut(name)?;
+    match site.policy {
+        Policy::Short { accept } => Some(accept.min(full_len)),
+        _ => None,
+    }
+}
+
+/// Parse `PARSCAN_FAILPOINTS="name=spec;name=spec"` once per process.
+/// Malformed entries panic: a torture run with a typo'd spec silently
+/// testing nothing is worse than a loud failure.
+pub fn init_from_env() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let Ok(val) = std::env::var("PARSCAN_FAILPOINTS") else {
+            return;
+        };
+        for entry in val.split(';') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, spec)) = entry.split_once('=') else {
+                panic!("PARSCAN_FAILPOINTS entry {entry:?} is not name=spec");
+            };
+            if let Err(e) = configure(name.trim(), spec) {
+                panic!("PARSCAN_FAILPOINTS: {e}");
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so each uses its
+    // own site names and never calls clear().
+
+    #[test]
+    fn unconfigured_site_is_a_noop() {
+        assert!(check("t.unused").is_ok());
+        assert_eq!(short_write("t.unused", 100), None);
+        assert_eq!(hits("t.unused"), 0);
+    }
+
+    #[test]
+    fn error_n_fails_then_passes() {
+        configure("t.err", "error(2)").unwrap();
+        assert!(check("t.err").is_err());
+        assert!(check("t.err").is_err());
+        assert!(check("t.err").is_ok());
+        assert_eq!(hits("t.err"), 3);
+    }
+
+    #[test]
+    fn enospc_carries_os_error_28() {
+        configure("t.enospc", "enospc").unwrap();
+        let err = check("t.enospc").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        configure("t.enospc", "off").unwrap();
+        assert!(check("t.enospc").is_ok());
+    }
+
+    #[test]
+    fn short_write_reports_truncated_length() {
+        configure("t.short", "short(3)").unwrap();
+        assert_eq!(short_write("t.short", 10), Some(3));
+        assert_eq!(short_write("t.short", 2), Some(2));
+        // check() passes through for short policies — the write site
+        // drives the tear itself.
+        assert!(check("t.short").is_ok());
+    }
+
+    #[test]
+    fn every_n_fails_periodically() {
+        configure("t.every", "every(3)").unwrap();
+        let results: Vec<bool> = (0..9).map(|_| check("t.every").is_ok()).collect();
+        assert_eq!(
+            results,
+            [true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn panic_n_unwinds_then_passes() {
+        configure("t.panic", "panic(1)").unwrap();
+        let unwound = std::panic::catch_unwind(|| check("t.panic")).is_err();
+        assert!(unwound);
+        assert!(check("t.panic").is_ok());
+    }
+
+    #[test]
+    fn delay_sleeps() {
+        configure("t.delay", "delay(30)").unwrap();
+        let start = std::time::Instant::now();
+        check("t.delay").unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in ["bogus", "error(x)", "short", "every(0)", "panic(", ""] {
+            assert!(configure("t.bad", bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn remove_forgets_the_site() {
+        configure("t.rm", "error").unwrap();
+        assert!(check("t.rm").is_err());
+        remove("t.rm");
+        assert!(check("t.rm").is_ok());
+        assert_eq!(hits("t.rm"), 0);
+    }
+}

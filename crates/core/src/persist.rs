@@ -158,17 +158,32 @@ pub fn atomic_write<P: AsRef<Path>>(path: P, bytes: &[u8]) -> io::Result<()> {
     };
 
     let result = (|| {
+        failpoint::check("persist.create")?;
         let mut f = File::create(&tmp)?;
+        failpoint::check("persist.write")?;
+        // A `short(K)` policy tears the payload: only the first K bytes
+        // land before the error — exactly what a full disk or a kill
+        // mid-write leaves in the temp file.
+        if let Some(accept) = failpoint::short_write("persist.write", bytes.len()) {
+            f.write_all(&bytes[..accept])?;
+            return Err(io::Error::other(format!(
+                "injected short write: {accept} of {} bytes",
+                bytes.len()
+            )));
+        }
         f.write_all(bytes)?;
         // Data must be on disk *before* the rename makes it reachable.
+        failpoint::check("persist.sync")?;
         f.sync_all()?;
         drop(f);
+        failpoint::check("persist.rename")?;
         std::fs::rename(&tmp, path)?;
         // Persist the directory entry for the rename. Failure here is
         // reported: the file content is safe, but durability of the name
         // change is not guaranteed without it.
         #[cfg(unix)]
         if let Some(d) = dir {
+            failpoint::check("persist.dirsync")?;
             File::open(d)?.sync_all()?;
         }
         Ok(())

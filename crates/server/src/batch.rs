@@ -41,7 +41,7 @@
 //! assert!(Arc::ptr_eq(&a.clustering, &b.clustering));
 //! ```
 
-use crate::engine::{ClusterOutcome, QueryEngine};
+use crate::engine::{ClusterOutcome, CoalesceAbandoned, QueryEngine};
 use crate::protocol::{Request, Response};
 use crate::registry::GraphRegistry;
 use parscan_parallel::primitives::par_map;
@@ -120,13 +120,13 @@ impl<'r> BatchExecutor<'r> {
         // workers collapse nested parallel calls to sequential, so a
         // small batch under par_map would run each query single-threaded;
         // below the thread count, intra-query parallelism wins.
-        let outcomes: Vec<ClusterOutcome> =
+        let outcomes: Vec<Result<ClusterOutcome, CoalesceAbandoned>> =
             if distinct.len() < parscan_parallel::pool::num_threads() {
-                distinct.iter().map(|(e, p)| e.cluster(*p)).collect()
+                distinct.iter().map(|(e, p)| e.try_cluster(*p)).collect()
             } else {
                 par_map(distinct.len(), 1, |i| {
                     let (e, p) = &distinct[i];
-                    e.cluster(*p)
+                    e.try_cluster(*p)
                 })
             };
 
@@ -143,7 +143,15 @@ impl<'r> BatchExecutor<'r> {
                         representative,
                         graph,
                     } => {
-                        let mut outcome = outcomes[*slot].clone();
+                        let mut outcome = match &outcomes[*slot] {
+                            Ok(outcome) => outcome.clone(),
+                            Err(abandoned) => {
+                                return Response::Retryable {
+                                    message: abandoned.to_string(),
+                                    reason: "coalesce",
+                                }
+                            }
+                        };
                         if !representative {
                             // Duplicates consumed a shared result: report
                             // their own ε snap and hit-like metadata, not

@@ -95,6 +95,16 @@ pub(crate) struct Connection {
     /// Requests submitted on this connection (the protocol's
     /// `session_requests`).
     pub requests: u64,
+    /// The highest request sequence number already answered. Completions
+    /// at or below this watermark are duplicates of a response the
+    /// deadline sweep sent and are dropped by the reactor.
+    pub completed: u64,
+    /// When the in-flight request was submitted; drives the deadline
+    /// sweep. `None` whenever `busy` is false.
+    pub inflight_since: Option<Instant>,
+    /// Last time this connection did anything observable (bytes read,
+    /// response delivered); drives the idle reaper.
+    pub last_activity: Instant,
     /// Peer half-closed; finish the pipeline, flush, then close.
     pub peer_eof: bool,
     /// Interest currently registered with the poller.
@@ -119,6 +129,9 @@ impl Connection {
             state: ConnState::Open,
             busy: false,
             requests: 0,
+            completed: 0,
+            inflight_since: None,
+            last_activity: Instant::now(),
             peer_eof: false,
             registered: Interest::READABLE,
             inbox: VecDeque::new(),
@@ -143,6 +156,7 @@ impl Connection {
             match self.stream.read(scratch) {
                 Ok(0) => return FillOutcome::Eof,
                 Ok(n) => {
+                    self.last_activity = Instant::now();
                     if self.parse_dead {
                         self.drain_budget = self.drain_budget.saturating_sub(n);
                         if self.drain_budget == 0 {

@@ -200,6 +200,31 @@ pub struct ClusterOutcome {
     pub epoch: u64,
 }
 
+/// How many dead coalescing leaders one request will outlive before the
+/// engine gives up on the key. Three is generous: a transient panic
+/// (allocation pressure, a poisoned dependency that recovers) clears in
+/// one retry, while a deterministic crash makes every retry die
+/// identically — more attempts only lengthen the convoy.
+pub const MAX_LEADER_RETRIES: u32 = 3;
+
+/// Every coalescing leader this request waited on panicked before
+/// publishing a result ([`MAX_LEADER_RETRIES`] of them). The condition
+/// is transient by construction — the next leader may succeed — so wire
+/// paths map it to a `retryable:true` / `reason:"coalesce"` response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalesceAbandoned;
+
+impl std::fmt::Display for CoalesceAbandoned {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "clustering abandoned: {MAX_LEADER_RETRIES} coalescing leaders failed; retry"
+        )
+    }
+}
+
+impl std::error::Error for CoalesceAbandoned {}
+
 /// Outcome of one [`QueryEngine::apply_update`] call.
 #[derive(Clone, Copy, Debug)]
 pub struct UpdateOutcome {
@@ -313,14 +338,59 @@ impl QueryEngine {
     }
 
     /// Serve one clustering query through the cache. This is the
-    /// client-facing path: it is the only one that moves the
-    /// `cluster_requests` / hit / miss counters, so
+    /// client-facing path: it is the only one (with [`Self::try_cluster`])
+    /// that moves the `cluster_requests` / hit / miss counters, so
     /// `cache_hits + cache_misses == cluster_requests` always holds.
     pub fn cluster(&self, params: QueryParams) -> ClusterOutcome {
         self.counters
             .cluster_requests
             .fetch_add(1, Ordering::Relaxed);
-        self.cluster_inner(params, true, true)
+        match self.cluster_inner(params, true, true) {
+            Ok(out) => out,
+            Err(CoalesceAbandoned) => {
+                // Every coalescing leader for this key panicked and this
+                // API has no error channel: compute directly, outside
+                // the in-flight table. Bounded work — never a spin —
+                // and if the computation itself is what panics, this
+                // thread unwinds like any leader would.
+                let start = Instant::now();
+                let published = self.published();
+                let (eps_class, eps_snapped) = published.snap_epsilon(params.epsilon);
+                let clustering = Arc::new(self.compute(&published.index, params));
+                self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let out = ClusterOutcome {
+                    clustering,
+                    cached: false,
+                    coalesced: false,
+                    micros: start.elapsed().as_micros() as u64,
+                    eps_class,
+                    eps_snapped,
+                    epoch: published.epoch,
+                };
+                self.counters
+                    .compute_micros
+                    .fetch_add(out.micros, Ordering::Relaxed);
+                out
+            }
+        }
+    }
+
+    /// [`Self::cluster`] with the abandonment surfaced: after
+    /// [`MAX_LEADER_RETRIES`] coalescing leaders die under this request,
+    /// return the typed error instead of computing directly. The wire
+    /// paths use this so a client sees `retryable:true` rather than
+    /// having its request ride a possibly-doomed computation.
+    pub fn try_cluster(&self, params: QueryParams) -> Result<ClusterOutcome, CoalesceAbandoned> {
+        self.counters
+            .cluster_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let result = self.cluster_inner(params, true, true);
+        if result.is_err() {
+            // The request is still answered (with an error), so the
+            // ledger stays exact: an abandoned computation is a miss.
+            self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result
     }
 
     /// The shared query path. With `use_cache` false the cache is neither
@@ -334,7 +404,12 @@ impl QueryEngine {
     /// The published snapshot is taken once, up front: epoch, breakpoint
     /// table, and index all come from it, so a concurrent update can
     /// never mix state from two publications inside one query.
-    fn cluster_inner(&self, params: QueryParams, use_cache: bool, count: bool) -> ClusterOutcome {
+    fn cluster_inner(
+        &self,
+        params: QueryParams,
+        use_cache: bool,
+        count: bool,
+    ) -> Result<ClusterOutcome, CoalesceAbandoned> {
         let start = Instant::now();
         let published = self.published();
         let (eps_class, eps_snapped) = published.snap_epsilon(params.epsilon);
@@ -360,7 +435,7 @@ impl QueryEngine {
             self.counters
                 .compute_micros
                 .fetch_add(out.micros, Ordering::Relaxed);
-            return out;
+            return Ok(out);
         }
         // Pool workers must never block on another thread's computation:
         // the leader may itself need the (single, global) pool for its
@@ -375,7 +450,7 @@ impl QueryEngine {
                 if count {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                return finish(hit, true, false);
+                return Ok(finish(hit, true, false));
             }
             let clustering = Arc::new(self.compute(&published.index, params));
             self.cache.insert(key, Arc::clone(&clustering));
@@ -386,17 +461,21 @@ impl QueryEngine {
             self.counters
                 .compute_micros
                 .fetch_add(out.micros, Ordering::Relaxed);
-            return out;
+            return Ok(out);
         }
         // The loop only repeats when a coalescing leader abandoned its
         // computation (unwound); the retrying follower then competes to
-        // become leader itself.
+        // become leader itself. *Bounded*: a deterministic crash in the
+        // computation makes every new leader die the same way, and an
+        // unbounded loop would spin a convoy of followers forever. After
+        // `MAX_LEADER_RETRIES` dead leaders, give up with a typed error.
+        let mut abandoned = 0u32;
         loop {
             if let Some(hit) = self.cache.get(&key) {
                 if count {
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 }
-                return finish(hit, true, false);
+                return Ok(finish(hit, true, false));
             }
             // Cold so far: register as the computation leader for this
             // key, or join an already in-flight computation as follower.
@@ -409,11 +488,17 @@ impl QueryEngine {
                     if count {
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     }
-                    return finish(hit, true, false);
+                    return Ok(finish(hit, true, false));
                 }
                 Err(Entry::Follower(cell)) => {
                     let Some(result) = cell.wait() else {
-                        continue; // leader unwound; retry from the top
+                        // Leader unwound; retry from the top, a bounded
+                        // number of times.
+                        abandoned += 1;
+                        if abandoned >= MAX_LEADER_RETRIES {
+                            return Err(CoalesceAbandoned);
+                        }
+                        continue;
                     };
                     if count {
                         // A coalesced wait is a hit (answered without
@@ -425,7 +510,7 @@ impl QueryEngine {
                             .coalesced_waits
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    return finish(result, true, true);
+                    return Ok(finish(result, true, true));
                 }
                 Err(Entry::Leader(guard)) => {
                     // Compute, publish to the cache, then deregister +
@@ -441,7 +526,7 @@ impl QueryEngine {
                     self.counters
                         .compute_micros
                         .fetch_add(out.micros, Ordering::Relaxed);
-                    return out;
+                    return Ok(out);
                 }
             }
         }
@@ -520,6 +605,11 @@ impl QueryEngine {
     /// Run the clustering computation itself (no cache, no counters)
     /// against one publication's index.
     fn compute(&self, index: &ScanIndex, params: QueryParams) -> Clustering {
+        // Torture hook: a `panic` policy here is how tests kill a
+        // coalescing leader mid-computation; a `delay` policy is how
+        // they park a worker. Error policies have no channel at this
+        // site and are ignored.
+        let _ = failpoint::check("engine.compute");
         let opts = QueryOptions {
             border: self.border,
             ..Default::default()
@@ -693,7 +783,9 @@ impl QueryEngine {
         let use_cache = points.len() <= self.cache.capacity() / 2;
         let mut best: Option<SweepBest> = None;
         for params in points {
-            let outcome = self.cluster_inner(params, use_cache, false);
+            let outcome = self
+                .cluster_inner(params, use_cache, false)
+                .map_err(|e| e.to_string())?;
             let c = &outcome.clustering;
             let score = if c.num_clusters() == 0 {
                 f64::NEG_INFINITY
@@ -1128,4 +1220,11 @@ mod tests {
             .cluster_with(QueryParams::new(2, 0.99), BorderAssignment::MostSimilar);
         assert_eq!(*hit.clustering, direct);
     }
+
+    // The always-panicking-leader test (every coalescing leader dies at
+    // the `engine.compute` failpoint; followers must terminate with
+    // `CoalesceAbandoned` instead of spinning) lives in
+    // `tests/server_deadlines.rs`: the failpoint registry is
+    // process-global, and arming a panic policy here would crash
+    // unrelated unit tests running in parallel threads of this binary.
 }

@@ -77,9 +77,12 @@ pub use batch::BatchExecutor;
 pub use boot::{warm_boot, WarmBootReport};
 pub use cache::ShardedLru;
 pub use engine::{
-    ClusterOutcome, EngineConfig, EngineStats, QueryEngine, SweepBest, UpdateOutcome,
+    ClusterOutcome, CoalesceAbandoned, EngineConfig, EngineStats, QueryEngine, SweepBest,
+    UpdateOutcome,
 };
-pub use protocol::{parse_request, ReactorStats, Request, Response, StatsGraph, StoreStats};
+pub use protocol::{
+    parse_request, FaultStats, ReactorStats, Request, Response, StatsGraph, StoreStats,
+};
 pub use reactor::ServeConfig;
 pub use registry::{
     validate_graph_name, GraphInfo, GraphRegistry, LoadOutcome, RegistryConfig, RegistryError,

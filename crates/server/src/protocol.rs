@@ -407,6 +407,25 @@ pub struct ReactorStats {
     pub workers: u64,
 }
 
+/// Fault and degraded-mode counters in a `STATS` response: everything
+/// that went wrong (or was defended against) since boot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests answered with a retryable `"reason":"deadline"` error
+    /// because they sat past the configured deadline.
+    pub deadline_expired: u64,
+    /// Idle connections closed by the reactor's reaper.
+    pub idle_reaped: u64,
+    /// Times the worker watchdog newly flagged a stuck job.
+    pub watchdog_trips: u64,
+    /// Workers currently executing a job past the stuck threshold.
+    pub stuck_workers: u64,
+    /// Store snapshot/manifest I/O failures since boot.
+    pub store_io_errors: u64,
+    /// Audit-log append failures since boot.
+    pub audit_failures: u64,
+}
+
 /// A response ready for JSON rendering. `graph` fields carry the
 /// *canonical* graph name a query resolved to (the default graph's name
 /// for unaddressed requests).
@@ -415,6 +434,17 @@ pub enum Response {
     Pong,
     Error {
         message: String,
+    },
+    /// A transient failure the client should retry (with backoff):
+    /// renders as `"op":"error"` with `"retryable":true` and a machine
+    /// `reason` — `"deadline"` (request sat past its deadline),
+    /// `"coalesce"` (every coalescing leader for the result panicked),
+    /// `"io"` (a store write failed but left the previous durable state
+    /// intact). Contrast [`Response::Error`], whose `retryable:false`
+    /// marks a mistake retrying cannot fix.
+    Retryable {
+        message: String,
+        reason: &'static str,
     },
     /// Admission control refused this request (or connection): the
     /// server is saturated. Distinct from `Error` so clients can retry
@@ -451,6 +481,7 @@ pub enum Response {
         /// Durable-store counters; `None` on storeless servers.
         store: Option<StoreStats>,
         reactor: ReactorStats,
+        faults: FaultStats,
         session_requests: u64,
     },
     /// Acknowledgement for `LOAD`.
@@ -549,7 +580,12 @@ impl Response {
         match self {
             Response::Pong => r#"{"ok":true,"op":"pong"}"#.to_string(),
             Response::Error { message } => format!(
-                r#"{{"ok":false,"op":"error","message":"{}"}}"#,
+                r#"{{"ok":false,"op":"error","retryable":false,"message":"{}"}}"#,
+                json_escape(message)
+            ),
+            Response::Retryable { message, reason } => format!(
+                r#"{{"ok":false,"op":"error","retryable":true,"reason":"{}","message":"{}"}}"#,
+                json_escape(reason),
                 json_escape(message)
             ),
             Response::Shed { message } => format!(
@@ -645,6 +681,7 @@ impl Response {
                 registry,
                 store,
                 reactor,
+                faults,
                 session_requests,
             } => {
                 let mut out = String::from(r#"{"ok":true,"op":"stats""#);
@@ -713,6 +750,19 @@ impl Response {
                     reactor.shed_requests,
                     reactor.shed_connections,
                     reactor.workers,
+                ));
+                out.push_str(&format!(
+                    concat!(
+                        r#","faults":{{"deadline_expired":{},"idle_reaped":{},"#,
+                        r#""watchdog_trips":{},"stuck_workers":{},"store_io_errors":{},"#,
+                        r#""audit_failures":{}}}"#
+                    ),
+                    faults.deadline_expired,
+                    faults.idle_reaped,
+                    faults.watchdog_trips,
+                    faults.stuck_workers,
+                    faults.store_io_errors,
+                    faults.audit_failures,
                 ));
                 out.push_str(&format!(r#","session_requests":{session_requests}}}"#));
                 out
@@ -1121,7 +1171,18 @@ mod tests {
         };
         assert_eq!(
             err.render_json(),
-            r#"{"ok":false,"op":"error","message":"bad \"quote\"\nline"}"#
+            r#"{"ok":false,"op":"error","retryable":false,"message":"bad \"quote\"\nline"}"#
+        );
+        let retry = Response::Retryable {
+            message: "request deadline (300ms) expired in queue".into(),
+            reason: "deadline",
+        };
+        assert_eq!(
+            retry.render_json(),
+            concat!(
+                r#"{"ok":false,"op":"error","retryable":true,"reason":"deadline","#,
+                r#""message":"request deadline (300ms) expired in queue"}"#
+            )
         );
         let c = Clustering::new(vec![0, 0, UNCLUSTERED, 3], vec![true, false, false, true]);
         assert_eq!(json_labels(&c), "[0,0,-1,3]");
@@ -1154,6 +1215,14 @@ mod tests {
                 shed_connections: 2,
                 workers: 4,
             },
+            faults: FaultStats {
+                deadline_expired: 6,
+                idle_reaped: 5,
+                watchdog_trips: 1,
+                stuck_workers: 2,
+                store_io_errors: 3,
+                audit_failures: 4,
+            },
             session_requests: 5,
         };
         let json = r.render_json();
@@ -1161,6 +1230,13 @@ mod tests {
             json.contains(concat!(
                 r#""reactor":{"connections":11,"accepted":42,"queue_depth":3,"#,
                 r#""queue_limit":1024,"shed_requests":7,"shed_connections":2,"workers":4}"#
+            )),
+            "{json}"
+        );
+        assert!(
+            json.contains(concat!(
+                r#""faults":{"deadline_expired":6,"idle_reaped":5,"watchdog_trips":1,"#,
+                r#""stuck_workers":2,"store_io_errors":3,"audit_failures":4}"#
             )),
             "{json}"
         );

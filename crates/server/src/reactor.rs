@@ -75,6 +75,21 @@ pub struct ServeConfig {
     /// Unread response bytes buffered per connection before it is
     /// killed as a non-reading peer.
     pub max_outbound_bytes: usize,
+    /// Per-request deadline. A request that has not completed this long
+    /// after submission is answered with a retryable
+    /// `"reason":"deadline"` error; if a worker picks it up after
+    /// expiry it is not executed at all. `None` (the default) disables
+    /// deadlines.
+    pub deadline: Option<Duration>,
+    /// Reap connections that have been completely idle (no in-flight
+    /// request, no buffered input or output) this long. `None` (the
+    /// default) keeps idle sessions forever.
+    pub idle_timeout: Option<Duration>,
+    /// The worker watchdog flags a job still executing after this long
+    /// as *stuck*: it is surfaced in `STATS` (`watchdog_trips`,
+    /// `stuck_workers`), and while every worker is stuck new requests
+    /// are shed instead of queued behind the wedge.
+    pub watchdog_stuck_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +100,11 @@ impl Default for ServeConfig {
             queue_limit: 1024,
             max_pipeline: 64,
             max_outbound_bytes: 8 << 20,
+            deadline: None,
+            idle_timeout: None,
+            // Long enough that legitimate heavy work (a multi-second
+            // LOAD of a big snapshot) never trips it by default.
+            watchdog_stuck_after: Duration::from_secs(30),
         }
     }
 }
@@ -110,6 +130,15 @@ pub(crate) struct ReactorMetrics {
     pub shed_connections: AtomicU64,
     pub queue_limit: u64,
     pub workers: u64,
+    /// Requests answered with the retryable `"reason":"deadline"` error.
+    pub deadline_expired: AtomicU64,
+    /// Idle connections closed by the reaper.
+    pub idle_reaped: AtomicU64,
+    /// Times the watchdog newly flagged a stuck job (one per episode,
+    /// not per sweep).
+    pub watchdog_trips: AtomicU64,
+    /// Gauge: workers currently executing past the stuck threshold.
+    pub stuck_workers: AtomicU64,
 }
 
 impl ReactorMetrics {
@@ -121,6 +150,10 @@ impl ReactorMetrics {
             shed_connections: AtomicU64::new(0),
             queue_limit: queue_limit as u64,
             workers: workers as u64,
+            deadline_expired: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            watchdog_trips: AtomicU64::new(0),
+            stuck_workers: AtomicU64::new(0),
         }
     }
 }
@@ -130,8 +163,13 @@ pub(crate) struct Job {
     pub conn: ConnId,
     pub line: String,
     /// The connection's request counter at submission (the protocol's
-    /// `session_requests`).
+    /// `session_requests`). Also the per-connection sequence number that
+    /// routes this job's completion: a completion at or below the
+    /// connection's `completed` watermark is stale and dropped.
     pub requests: u64,
+    /// Absolute expiry ([`ServeConfig::deadline`] after submission);
+    /// a worker popping the job after this refuses to execute it.
+    pub deadline: Option<Instant>,
 }
 
 pub(crate) enum Push {
@@ -214,6 +252,21 @@ impl JobQueue {
         self.ready.notify_all();
     }
 
+    /// Remove one queued job by its (connection, sequence) identity.
+    /// The deadline sweep uses this after force-answering a request so
+    /// a worker never wastes time executing work whose response has
+    /// already been sent; `false` means a worker already has it.
+    fn remove(&self, conn: ConnId, requests: u64) -> bool {
+        let mut state = crate::lock_mutex(&self.state);
+        let before = state.jobs.len();
+        state
+            .jobs
+            .retain(|j| !(j.conn == conn && j.requests == requests));
+        let removed = state.jobs.len() != before;
+        self.depth.store(state.jobs.len() as u64, Ordering::Relaxed);
+        removed
+    }
+
     pub fn depth(&self) -> u64 {
         self.depth.load(Ordering::Relaxed)
     }
@@ -222,6 +275,12 @@ impl JobQueue {
 /// A finished request's response, routed back to its connection.
 pub(crate) struct Completion {
     pub conn: ConnId,
+    /// The request's per-connection sequence number ([`Job::requests`]).
+    /// The reactor delivers a completion only if it is *above* the
+    /// connection's `completed` watermark — a worker finishing a request
+    /// the deadline sweep already answered arrives below it and is
+    /// dropped, so the client never sees two responses for one request.
+    pub requests: u64,
     /// The rendered response line, newline included.
     pub payload: Vec<u8>,
     pub control: Control,
@@ -237,11 +296,12 @@ pub(crate) struct Completions {
 }
 
 impl Completions {
-    fn push(&self, conn: ConnId, response: &Response, control: Control) {
+    fn push(&self, conn: ConnId, requests: u64, response: &Response, control: Control) {
         let mut payload = response.render_json().into_bytes();
         payload.push(b'\n');
         crate::lock_mutex(&self.queue).push(Completion {
             conn,
+            requests,
             payload,
             control,
         });
@@ -263,28 +323,29 @@ impl Completions {
 /// submitted request completes, panics and abandoned computations
 /// included.
 pub(crate) struct Responder {
-    inner: Option<(Arc<Completions>, ConnId)>,
+    inner: Option<(Arc<Completions>, ConnId, u64)>,
 }
 
 impl Responder {
-    fn new(completions: Arc<Completions>, conn: ConnId) -> Responder {
+    fn new(completions: Arc<Completions>, conn: ConnId, requests: u64) -> Responder {
         Responder {
-            inner: Some((completions, conn)),
+            inner: Some((completions, conn, requests)),
         }
     }
 
     pub fn send(mut self, response: &Response, control: Control) {
-        if let Some((completions, conn)) = self.inner.take() {
-            completions.push(conn, response, control);
+        if let Some((completions, conn, requests)) = self.inner.take() {
+            completions.push(conn, requests, response, control);
         }
     }
 }
 
 impl Drop for Responder {
     fn drop(&mut self) {
-        if let Some((completions, conn)) = self.inner.take() {
+        if let Some((completions, conn, requests)) = self.inner.take() {
             completions.push(
                 conn,
+                requests,
                 &Response::Error {
                     message: "internal error: request handler produced no response".into(),
                 },
@@ -330,8 +391,9 @@ fn execute_request(
                         Control::Continue,
                     ),
                     None => responder.send(
-                        &Response::Error {
+                        &Response::Retryable {
                             message: "clustering was abandoned by a failed leader; retry".into(),
+                            reason: "coalesce",
                         },
                         Control::Continue,
                     ),
@@ -370,14 +432,68 @@ fn execute_request(
     }
 }
 
-fn worker_loop(jobs: Arc<JobQueue>, completions: Arc<Completions>, shared: Arc<ServerShared>) {
+/// The per-worker start-time board the watchdog reads. Workers publish
+/// "I started a job at T" / "I'm idle" with one relaxed store; the
+/// reactor's sweep compares against the shared epoch to find jobs stuck
+/// past the threshold.
+pub(crate) struct Watchdog {
+    epoch: Instant,
+    /// Per worker: 0 = idle, otherwise (ms since `epoch`) + 1 at the
+    /// moment the current job started.
+    starts: Vec<AtomicU64>,
+}
+
+impl Watchdog {
+    fn new(workers: usize) -> Watchdog {
+        Watchdog {
+            epoch: Instant::now(),
+            starts: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn begin(&self, worker: usize) {
+        let now_ms = self.epoch.elapsed().as_millis() as u64;
+        self.starts[worker].store(now_ms + 1, Ordering::Relaxed);
+    }
+
+    fn end(&self, worker: usize) {
+        self.starts[worker].store(0, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    jobs: Arc<JobQueue>,
+    completions: Arc<Completions>,
+    shared: Arc<ServerShared>,
+    watchdog: Arc<Watchdog>,
+) {
     while let Some(job) = jobs.pop() {
-        let responder = Responder::new(Arc::clone(&completions), job.conn);
+        let responder = Responder::new(Arc::clone(&completions), job.conn, job.requests);
+        // A request that expired while queued is answered, not executed:
+        // the client has (or is about to) run out of patience, and doing
+        // the work anyway steals this worker from live requests.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            responder.send(
+                &Response::Retryable {
+                    message: "request deadline expired while queued; not executed".into(),
+                    reason: "deadline",
+                },
+                Control::Continue,
+            );
+            continue;
+        }
+        watchdog.begin(index);
         // A panicking handler must not take the worker down with it; the
         // unwinding Responder converts the panic into an error response.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_request(&shared, &job.line, job.requests, responder);
         }));
+        watchdog.end(index);
     }
 }
 
@@ -406,6 +522,11 @@ pub(crate) struct Reactor {
     next_generation: u64,
     completions: Arc<Completions>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Arc<Watchdog>,
+    /// Per worker: the `Watchdog::starts` value already counted as a
+    /// trip, so one stuck episode increments `watchdog_trips` once no
+    /// matter how many sweeps observe it.
+    last_tripped: Vec<u64>,
 }
 
 impl Reactor {
@@ -422,15 +543,18 @@ impl Reactor {
             queue: Mutex::new(Vec::new()),
             waker,
         });
+        let worker_count = shared.metrics.workers as usize;
+        let watchdog = Arc::new(Watchdog::new(worker_count));
         let mut workers = Vec::new();
-        for i in 0..shared.metrics.workers {
+        for i in 0..worker_count {
             let jobs = Arc::clone(&shared.jobs);
             let completions = Arc::clone(&completions);
             let shared = Arc::clone(&shared);
+            let watchdog = Arc::clone(&watchdog);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("parscan-serve-worker-{i}"))
-                    .spawn(move || worker_loop(jobs, completions, shared))?,
+                    .spawn(move || worker_loop(i, jobs, completions, shared, watchdog))?,
             );
         }
         Ok(Reactor {
@@ -445,6 +569,8 @@ impl Reactor {
             next_generation: 0,
             completions,
             workers,
+            watchdog,
+            last_tripped: vec![0; worker_count],
         })
     }
 
@@ -620,6 +746,34 @@ impl Reactor {
                     break;
                 }
                 Some(InboxItem::Line(line)) => {
+                    // Watchdog saturation: when every worker is wedged
+                    // past the stuck threshold, queuing is a lie — the
+                    // queue only drains if a wedge clears. Shed with the
+                    // same typed response as a full queue.
+                    let stuck = self.shared.metrics.stuck_workers.load(Ordering::Relaxed);
+                    if stuck >= self.shared.metrics.workers && self.shared.metrics.workers > 0 {
+                        self.shared
+                            .metrics
+                            .shed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        let response = Response::Shed {
+                            message: format!(
+                                "server overloaded: all {} workers stuck past the watchdog threshold",
+                                self.shared.metrics.workers
+                            ),
+                        };
+                        let mut payload = response.render_json().into_bytes();
+                        payload.push(b'\n');
+                        let queued = self
+                            .conn_mut(slot)
+                            .expect("checked above")
+                            .queue_response(&payload, max_outbound);
+                        if !queued {
+                            self.close(slot);
+                            return;
+                        }
+                        continue;
+                    }
                     let (id, requests) = {
                         let conn = self.conn_mut(slot).expect("checked above");
                         conn.requests += 1;
@@ -635,9 +789,12 @@ impl Reactor {
                         conn: id,
                         line,
                         requests,
+                        deadline: self.config.deadline.map(|d| Instant::now() + d),
                     }) {
                         Push::Queued => {
-                            self.conn_mut(slot).expect("checked above").busy = true;
+                            let conn = self.conn_mut(slot).expect("checked above");
+                            conn.busy = true;
+                            conn.inflight_since = Some(Instant::now());
                             break;
                         }
                         Push::Closed => break,
@@ -719,6 +876,7 @@ impl Reactor {
         for completion in self.completions.drain() {
             let Completion {
                 conn: id,
+                requests,
                 payload,
                 control,
             } = completion;
@@ -732,7 +890,18 @@ impl Reactor {
                     // reused slot from receiving a predecessor's reply.
                     continue;
                 }
+                if requests <= conn.completed {
+                    // Already answered — the deadline sweep sent the
+                    // retryable error and advanced the watermark. The
+                    // worker's late result is dropped, not delivered as
+                    // a duplicate. The connection is *not* marked idle:
+                    // its busy flag now belongs to a newer request.
+                    continue;
+                }
+                conn.completed = requests;
                 conn.busy = false;
+                conn.inflight_since = None;
+                conn.last_activity = Instant::now();
                 let queued = conn.queue_response(&payload, max_outbound);
                 if queued && !matches!(control, Control::Continue) {
                     conn.start_closing();
@@ -753,11 +922,20 @@ impl Reactor {
         }
     }
 
-    /// Time-driven closes the event flow can't deliver: Draining
-    /// connections whose grace expired, and any straggler the
-    /// event-driven paths already made closeable.
+    /// Everything time-driven that the event flow can't deliver, run
+    /// once per poll tick (≤100ms): the worker watchdog, request
+    /// deadlines, the idle reaper, Draining connections whose grace
+    /// expired, and any straggler the event-driven paths already made
+    /// closeable.
     fn sweep_deadlines(&mut self) {
         let now = Instant::now();
+        self.sweep_watchdog(now);
+        if self.config.deadline.is_some() {
+            self.sweep_request_deadlines(now);
+        }
+        if let Some(idle) = self.config.idle_timeout {
+            self.sweep_idle(now, idle);
+        }
         let mut doomed = Vec::new();
         for (slot, entry) in self.slots.iter().enumerate() {
             if let Some(conn) = entry {
@@ -767,6 +945,118 @@ impl Reactor {
             }
         }
         for slot in doomed {
+            self.close(slot);
+        }
+    }
+
+    /// Update the stuck-worker gauge and count newly stuck episodes.
+    fn sweep_watchdog(&mut self, now: Instant) {
+        let threshold_ms = self.config.watchdog_stuck_after.as_millis() as u64;
+        let now_ms = now.duration_since(self.watchdog.epoch).as_millis() as u64;
+        let mut stuck = 0u64;
+        for (i, start) in self.watchdog.starts.iter().enumerate() {
+            let v = start.load(Ordering::Relaxed);
+            if v == 0 || now_ms.saturating_sub(v - 1) < threshold_ms {
+                continue;
+            }
+            stuck += 1;
+            if self.last_tripped[i] != v {
+                self.last_tripped[i] = v;
+                self.shared
+                    .metrics
+                    .watchdog_trips
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.shared
+            .metrics
+            .stuck_workers
+            .store(stuck, Ordering::Relaxed);
+    }
+
+    /// Force-complete every in-flight request older than the deadline
+    /// with the retryable `"reason":"deadline"` error. The request's
+    /// eventual worker completion (if any) arrives below the `completed`
+    /// watermark and is dropped; if the job never left the queue it is
+    /// removed outright so no worker wastes time on it.
+    fn sweep_request_deadlines(&mut self, now: Instant) {
+        let deadline = self.config.deadline.expect("checked by caller");
+        let max_outbound = self.config.max_outbound_bytes;
+        let mut expired = Vec::new();
+        for (slot, entry) in self.slots.iter().enumerate() {
+            if let Some(conn) = entry {
+                if conn.busy
+                    && conn
+                        .inflight_since
+                        .is_some_and(|t| now.duration_since(t) >= deadline)
+                {
+                    expired.push(slot);
+                }
+            }
+        }
+        for slot in expired {
+            let response = Response::Retryable {
+                message: format!(
+                    "request exceeded the {}ms deadline; any late result is discarded",
+                    deadline.as_millis()
+                ),
+                reason: "deadline",
+            };
+            let mut payload = response.render_json().into_bytes();
+            payload.push(b'\n');
+            let (id, requests, queued) = {
+                let Some(conn) = self.conn_mut(slot) else {
+                    continue;
+                };
+                let id = ConnId {
+                    slot,
+                    generation: conn.generation,
+                };
+                let requests = conn.requests;
+                conn.completed = requests;
+                conn.busy = false;
+                conn.inflight_since = None;
+                conn.last_activity = now;
+                (id, requests, conn.queue_response(&payload, max_outbound))
+            };
+            self.shared
+                .metrics
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            // Still queued? Unqueue it — answered is answered.
+            let _ = self.shared.jobs.remove(id, requests);
+            if !queued {
+                self.close(slot);
+                continue;
+            }
+            // The connection is serviceable again: submit its next
+            // pipelined request, if any.
+            self.pump(slot);
+        }
+    }
+
+    /// Close connections with nothing pending that have been quiet past
+    /// the idle timeout. Coarse by design: the poll tick is the timer
+    /// wheel, so reaping lags the timeout by at most one tick.
+    fn sweep_idle(&mut self, now: Instant, idle: Duration) {
+        let mut idlers = Vec::new();
+        for (slot, entry) in self.slots.iter().enumerate() {
+            if let Some(conn) = entry {
+                if conn.state == crate::conn::ConnState::Open
+                    && !conn.busy
+                    && conn.inbox.is_empty()
+                    && !conn.has_output()
+                    && now.duration_since(conn.last_activity) >= idle
+                {
+                    idlers.push(slot);
+                }
+            }
+        }
+        for slot in idlers {
+            self.shared
+                .metrics
+                .idle_reaped
+                .fetch_add(1, Ordering::Relaxed);
             self.close(slot);
         }
     }

@@ -16,7 +16,7 @@
 
 use crate::batch::BatchExecutor;
 use crate::engine::QueryEngine;
-use crate::protocol::{ReactorStats, Request, Response, StatsGraph, StoreStats};
+use crate::protocol::{FaultStats, ReactorStats, Request, Response, StatsGraph, StoreStats};
 use crate::reactor::{Completions, JobQueue, Reactor, ReactorMetrics, ServeConfig};
 use crate::registry::{GraphRegistry, LoadOutcome, RegistryError};
 use parscan_store::{AuditKind, IndexStore};
@@ -87,6 +87,14 @@ impl ServerShared {
                 shed_requests: self.metrics.shed_requests.load(Ordering::Relaxed),
                 shed_connections: self.metrics.shed_connections.load(Ordering::Relaxed),
                 workers: self.metrics.workers,
+            },
+            faults: FaultStats {
+                deadline_expired: self.metrics.deadline_expired.load(Ordering::Relaxed),
+                idle_reaped: self.metrics.idle_reaped.load(Ordering::Relaxed),
+                watchdog_trips: self.metrics.watchdog_trips.load(Ordering::Relaxed),
+                stuck_workers: self.metrics.stuck_workers.load(Ordering::Relaxed),
+                store_io_errors: self.store.as_ref().map_or(0, |s| s.io_error_count()),
+                audit_failures: self.store.as_ref().map_or(0, |s| s.audit_failure_count()),
             },
             session_requests,
         }
@@ -389,8 +397,13 @@ pub(crate) fn handle_request(
                                 bytes: entry.bytes,
                                 millis: start.elapsed().as_millis() as u64,
                             },
-                            Err(e) => Response::Error {
+                            // A failed save leaves the previous
+                            // manifest+snapshot generation fully intact
+                            // (see `IndexStore::save`), so the client
+                            // can simply try again.
+                            Err(e) => Response::Retryable {
                                 message: format!("saving {canonical:?} failed: {e}"),
+                                reason: "io",
                             },
                         }
                     }
@@ -407,11 +420,17 @@ pub(crate) fn handle_request(
             full,
         } => (
             match resolve(graph.as_deref()) {
-                Ok((canonical, engine)) => Response::Cluster {
-                    graph: canonical,
-                    params,
-                    outcome: engine.cluster(params),
-                    full,
+                Ok((canonical, engine)) => match engine.try_cluster(params) {
+                    Ok(outcome) => Response::Cluster {
+                        graph: canonical,
+                        params,
+                        outcome,
+                        full,
+                    },
+                    Err(abandoned) => Response::Retryable {
+                        message: abandoned.to_string(),
+                        reason: "coalesce",
+                    },
                 },
                 Err(message) => Response::Error { message },
             },

@@ -192,6 +192,19 @@ impl AuditLog {
             kind.as_str(),
             graph.unwrap_or("-"),
         );
+        failpoint::check("audit.append")?;
+        // A `short(K)` policy tears the line mid-write — the torn tail a
+        // crash between `write_all` and `flush` leaves behind. `replay`
+        // must skip it and seq recovery must survive it.
+        if let Some(accept) = failpoint::short_write("audit.append", line.len()) {
+            self.file.write_all(&line.as_bytes()[..accept])?;
+            let _ = self.file.flush();
+            self.bytes += accept as u64;
+            return Err(io::Error::other(format!(
+                "injected short audit write: {accept} of {} bytes",
+                line.len()
+            )));
+        }
         self.file.write_all(line.as_bytes())?;
         self.file.flush()?;
         self.bytes += line.len() as u64;

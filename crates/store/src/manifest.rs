@@ -208,6 +208,7 @@ fn parse_entry(fields: &str) -> io::Result<ManifestEntry> {
 
 /// Atomically replace the manifest at `path` with `entries`.
 pub fn write(path: &Path, entries: &[ManifestEntry]) -> io::Result<()> {
+    failpoint::check("manifest.write")?;
     atomic_write(path, &render(entries))
 }
 

@@ -25,6 +25,7 @@ use parscan_core::ScanIndex;
 use std::collections::BTreeSet;
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Store tuning knobs.
@@ -60,6 +61,12 @@ pub struct IndexStore {
     /// is in-memory state, not persisted: a crash loses the set, but the
     /// audit log's `MUTATE` lines record that the snapshot is stale.
     dirty: Mutex<BTreeSet<String>>,
+    /// Snapshot/manifest I/O failures since this store was opened —
+    /// surfaced through the server's `STATS` faults block.
+    io_errors: AtomicU64,
+    /// Audit-log append failures since open. The log is best-effort, so
+    /// these never fail a caller, but an operator should see them.
+    audit_failures: AtomicU64,
 }
 
 fn bad(msg: String) -> io::Error {
@@ -110,6 +117,8 @@ impl IndexStore {
             entries: Mutex::new(entries),
             audit: Mutex::new(audit),
             dirty: Mutex::new(BTreeSet::new()),
+            io_errors: AtomicU64::new(0),
+            audit_failures: AtomicU64::new(0),
         })
     }
 
@@ -146,8 +155,23 @@ impl IndexStore {
         cache_capacity: usize,
     ) -> io::Result<ManifestEntry> {
         validate_name(name)?;
+        let result = self.save_inner(name, index, pinned, cache_capacity);
+        if result.is_err() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn save_inner(
+        &self,
+        name: &str,
+        index: &ScanIndex,
+        pinned: bool,
+        cache_capacity: usize,
+    ) -> io::Result<ManifestEntry> {
         let snapshot = format!("{name}.pscidx");
         let path = self.dir.join("snapshots").join(&snapshot);
+        failpoint::check("store.save.snapshot")?;
         index.save(&path)?;
         let bytes = std::fs::metadata(&path)?.len();
         let g = index.graph();
@@ -162,12 +186,19 @@ impl IndexStore {
             edges: g.num_edges() as u64,
         };
         {
+            // Build the next manifest generation off to the side and
+            // commit it to memory only after the write succeeds: if the
+            // rewrite fails, memory still matches the generation on disk
+            // and a retry (or a restart) serves the previous working set.
             let mut entries = self.lock_entries();
-            match entries.iter_mut().find(|e| e.name == name) {
+            let mut next = entries.clone();
+            match next.iter_mut().find(|e| e.name == name) {
                 Some(slot) => *slot = entry.clone(),
-                None => entries.push(entry.clone()),
+                None => next.push(entry.clone()),
             }
-            manifest::write(&self.manifest_path, &entries)?;
+            failpoint::check("store.save.manifest")?;
+            manifest::write(&self.manifest_path, &next)?;
+            *entries = next;
         }
         let _ = self.record(AuditKind::Save, Some(name), &format!("bytes={bytes}"));
         self.lock_dirty().remove(name);
@@ -208,13 +239,26 @@ impl IndexStore {
     /// then the snapshot file. Returns the removed entry, or `None` if
     /// the graph was not persisted.
     pub fn forget(&self, name: &str) -> io::Result<Option<ManifestEntry>> {
+        let result = self.forget_inner(name);
+        if result.is_err() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn forget_inner(&self, name: &str) -> io::Result<Option<ManifestEntry>> {
         let removed = {
+            // Same discipline as `save`: rewrite the manifest from a
+            // scratch copy, commit to memory only on success.
             let mut entries = self.lock_entries();
             let Some(at) = entries.iter().position(|e| e.name == name) else {
                 return Ok(None);
             };
-            let removed = entries.remove(at);
-            manifest::write(&self.manifest_path, &entries)?;
+            let mut next = entries.clone();
+            let removed = next.remove(at);
+            failpoint::check("store.forget.manifest")?;
+            manifest::write(&self.manifest_path, &next)?;
+            *entries = next;
             removed
         };
         match std::fs::remove_file(self.snapshot_path(&removed)) {
@@ -230,10 +274,25 @@ impl IndexStore {
     /// failures are returned but are safe for callers to ignore — the
     /// log is an observability aid, not a correctness dependency.
     pub fn record(&self, kind: AuditKind, graph: Option<&str>, detail: &str) -> io::Result<u64> {
-        self.audit
+        let result = self
+            .audit
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .append(kind, graph, detail)
+            .append(kind, graph, detail);
+        if result.is_err() {
+            self.audit_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Snapshot/manifest write failures since this store was opened.
+    pub fn io_error_count(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Audit-log append failures since this store was opened.
+    pub fn audit_failure_count(&self) -> u64 {
+        self.audit_failures.load(Ordering::Relaxed)
     }
 
     /// The sequence number the next audit append will use (monotonic

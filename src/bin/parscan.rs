@@ -17,6 +17,9 @@
 //!                  [--queue N]                      admission-control bounds
 //!                  [--store-dir DIR]               durable store: SAVE verb +
 //!                                                  warm boot on restart
+//!                  [--deadline-ms MS]              per-request deadline
+//!                  [--idle-timeout MS]             reap idle connections
+//!                  [--watchdog-ms MS]              stuck-worker threshold
 //! parscan convert  <in> <out>                      convert between formats
 //! parscan generate <kind> --n N --out FILE         synthetic graphs
 //!                  (kinds: rmat, er, sbm, wsbm)
@@ -67,6 +70,7 @@ const USAGE: &str = "usage:
                    [--name NAME] [--graph NAME=PATH]... [--budget MIB] [--max-graphs N]
                    [--workers N] [--max-conns N] [--queue N]   (reactor + admission bounds)
                    [--store-dir DIR]   (path optional when DIR warm-boots a saved working set)
+                   [--deadline-ms MS] [--idle-timeout MS] [--watchdog-ms MS]   (resilience knobs)
   parscan convert  <in> <out>          (formats by extension: .bin, .graph/.metis, text)
   parscan generate (rmat|er|sbm|wsbm) --n N [--deg D] [--seed S] --out FILE";
 
@@ -293,11 +297,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let budget_mib: Option<usize> = parse(args, "--budget")?;
     let max_graphs: usize = parse(args, "--max-graphs")?.unwrap_or(64);
     let store_dir = flag(args, "--store-dir");
+    // Fault injection is armed only via the environment so production
+    // invocations never pay for (or accidentally enable) it.
+    failpoint::init_from_env();
     let defaults = ServeConfig::default();
     let serve_config = ServeConfig {
         workers: parse(args, "--workers")?.unwrap_or(defaults.workers),
         max_connections: parse(args, "--max-conns")?.unwrap_or(defaults.max_connections),
         queue_limit: parse(args, "--queue")?.unwrap_or(defaults.queue_limit),
+        deadline: parse::<u64>(args, "--deadline-ms")?
+            .map(std::time::Duration::from_millis)
+            .or(defaults.deadline),
+        idle_timeout: parse::<u64>(args, "--idle-timeout")?
+            .map(std::time::Duration::from_millis)
+            .or(defaults.idle_timeout),
+        watchdog_stuck_after: parse::<u64>(args, "--watchdog-ms")?
+            .map(std::time::Duration::from_millis)
+            .unwrap_or(defaults.watchdog_stuck_after),
         ..defaults
     };
 

@@ -205,3 +205,84 @@ fn fork_join_sort_agrees_with_flat_sort_on_graph_data() {
     parscan::parallel::sort::par_sort_unstable_by(&mut b, |x, y| x.cmp(y));
     assert_eq!(a, b);
 }
+
+#[test]
+fn torn_temp_files_never_shadow_the_durable_store_generation() {
+    // Fabricate the on-disk states a kill mid-`atomic_write` can leave
+    // behind — temp files truncated at arbitrary points or bit-flipped
+    // by a dying disk — and prove a cold open ignores every one of them
+    // and serves the last committed generation.
+    let dir = tmp("torn_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (g, _) = parscan::graph::generators::planted_partition(150, 4, 9.0, 1.0, 21);
+    let index = ScanIndex::build(g, IndexConfig::default());
+    {
+        let store = IndexStore::open(&dir).unwrap();
+        store.save("g", &index, true, 64).unwrap();
+    }
+    let manifest_bytes = std::fs::read(dir.join("manifest.psm")).unwrap();
+    let snapshot_bytes = std::fs::read(dir.join("snapshots").join("g.pscidx")).unwrap();
+
+    // Temp-file debris in both directories, at every interesting tear
+    // point: empty (killed after create), a prefix (killed or torn
+    // mid-write), complete-but-unrenamed (killed between fsync and
+    // rename), and complete-but-corrupt (torn sector).
+    let pid = std::process::id();
+    let mut flipped = manifest_bytes.clone();
+    flipped[manifest_bytes.len() / 2] ^= 0x40;
+    let manifest_debris = dir.join(format!(".manifest.psm.tmp.{pid}"));
+    let snapshot_debris = dir.join("snapshots").join(format!(".g.pscidx.tmp.{pid}"));
+    for (variant, bytes) in [
+        ("empty", Vec::new()),
+        (
+            "prefix",
+            manifest_bytes[..manifest_bytes.len() / 2].to_vec(),
+        ),
+        ("complete", manifest_bytes.clone()),
+        ("corrupt", flipped.clone()),
+    ] {
+        std::fs::write(&manifest_debris, &bytes).unwrap();
+        std::fs::write(
+            &snapshot_debris,
+            &snapshot_bytes[..bytes.len().min(snapshot_bytes.len())],
+        )
+        .unwrap();
+
+        let store = IndexStore::open(&dir)
+            .unwrap_or_else(|e| panic!("open must ignore {variant} temp debris: {e}"));
+        let entries = store.entries();
+        assert_eq!(entries.len(), 1, "{variant}: generation intact");
+        assert_eq!(entries[0].name, "g");
+        let (reloaded, _) = store.load("g").unwrap();
+        assert_eq!(
+            reloaded.cluster_with(QueryParams::new(3, 0.5), BorderAssignment::MostSimilar),
+            index.cluster_with(QueryParams::new(3, 0.5), BorderAssignment::MostSimilar),
+            "{variant}: snapshot answers identically"
+        );
+    }
+
+    // A torn write that *did* reach the real manifest (a partial rename
+    // on a non-atomic filesystem, or sector corruption) is detected —
+    // the store refuses to open rather than serving garbage.
+    std::fs::write(dir.join("manifest.psm"), &flipped).unwrap();
+    assert!(
+        IndexStore::open(&dir).is_err(),
+        "a corrupt root pointer must be detected, not served"
+    );
+    std::fs::write(
+        dir.join("manifest.psm"),
+        &manifest_bytes[..manifest_bytes.len() - 7],
+    )
+    .unwrap();
+    assert!(
+        IndexStore::open(&dir).is_err(),
+        "a truncated root pointer must be detected, not served"
+    );
+
+    // Restoring the intact manifest restores service.
+    std::fs::write(dir.join("manifest.psm"), &manifest_bytes).unwrap();
+    IndexStore::open(&dir).unwrap().load("g").unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
